@@ -1,0 +1,61 @@
+//! Criterion benchmarks of whole-scenario simulation throughput: how
+//! fast the library replays the paper's experiments. A full Fig. 8
+//! scenario (40 iterations, 3 migrations) should simulate in well under
+//! a millisecond of host time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ninja_migration::{NinjaOrchestrator, World};
+use ninja_workloads::{run_with_step_plan, BcastReduce, Memtest, StepPlan};
+
+fn bench_fig8_scenario(c: &mut Criterion) {
+    for ppv in [1u32, 8] {
+        c.bench_function(&format!("scenario/fig8_{ppv}ppv"), |b| {
+            b.iter(|| {
+                let mut w = World::agc_untraced(1);
+                let vms = w.boot_ib_vms(4);
+                let mut rt = w.start_job(vms, ppv);
+                let bench = BcastReduce::new(40, ppv);
+                let plan: StepPlan = vec![
+                    (11, (0..2).map(|i| w.eth_node(i)).collect()),
+                    (21, (0..4).map(|i| w.ib_node(i)).collect()),
+                    (31, (0..4).map(|i| w.eth_node(i)).collect()),
+                ];
+                black_box(
+                    run_with_step_plan(
+                        &mut w,
+                        &mut rt,
+                        &bench,
+                        &plan,
+                        &NinjaOrchestrator::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+fn bench_memtest_sweep(c: &mut Criterion) {
+    c.bench_function("scenario/memtest_16gib_30_passes", |b| {
+        b.iter(|| {
+            let mut w = World::agc_untraced(2);
+            let vms = w.boot_ib_vms(8);
+            let mut rt = w.start_job(vms, 1);
+            let bench = Memtest::new(ninja_sim::Bytes::from_gib(16), 30);
+            let mut sched = ninja_migration::CloudScheduler::new();
+            black_box(
+                ninja_workloads::run_workload(
+                    &mut w,
+                    &mut rt,
+                    &bench,
+                    &mut sched,
+                    &NinjaOrchestrator::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig8_scenario, bench_memtest_sweep);
+criterion_main!(benches);

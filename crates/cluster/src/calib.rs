@@ -1,0 +1,115 @@
+//! Hotplug latency calibration, derived from the paper's Table II.
+//!
+//! Table II reports combined hotplug times (detach at the source + attach
+//! at the destination + confirmation) for the four interconnect combos of
+//! a *self-migration* (no concurrent migration traffic), best of three:
+//!
+//! | combo              | hotplug (s) | link-up (s) |
+//! |--------------------|-------------|-------------|
+//! | IB   -> IB         | 3.88        | 29.91       |
+//! | IB   -> Ethernet   | 2.80        | 0.00        |
+//! | Eth  -> IB         | 1.15        | 29.79       |
+//! | Eth  -> Ethernet   | 0.13        | 0.00        |
+//!
+//! We decompose these into per-device-class detach/attach costs:
+//! `detach(IB) = 2.76 s`, `attach(IB) = 1.12 s`, `detach(Eth) = 0.06 s`,
+//! `attach(Eth) = 0.07 s`. This reproduces the four combos to within
+//! 0.03 s — the paper's own four numbers are mutually inconsistent by
+//! ~60 ms, so an exact fit does not exist.
+//!
+//! Section IV-B.2 observes that during a *real* migration (Fig. 6) the
+//! hotplug takes about three times longer because "migration noise
+//! interferes with the execution of hotplug"; `MIGRATION_NOISE_FACTOR`
+//! captures that.
+
+use ninja_sim::SimDuration;
+
+/// Per-class hotplug costs.
+#[derive(Debug, Clone)]
+pub struct HotplugCalib {
+    /// Detach (device_del + guest acpiphp processing) of an IB HCA.
+    pub detach_ib: SimDuration,
+    /// Attach (device_add + guest driver bind) of an IB HCA.
+    pub attach_ib: SimDuration,
+    /// Detach of an Ethernet NIC.
+    pub detach_eth: SimDuration,
+    /// Attach of an Ethernet NIC.
+    pub attach_eth: SimDuration,
+    /// Multiplicative slowdown applied to hotplug operations that run
+    /// concurrently with a live migration ("migration noise", Fig. 6).
+    pub migration_noise_factor: f64,
+    /// Jitter amplitude on each operation (run-to-run variation; the paper
+    /// takes best-of-three precisely because this is nonzero).
+    pub jitter: f64,
+}
+
+impl Default for HotplugCalib {
+    fn default() -> Self {
+        HotplugCalib {
+            detach_ib: SimDuration::from_millis(2760),
+            attach_ib: SimDuration::from_millis(1120),
+            detach_eth: SimDuration::from_millis(60),
+            attach_eth: SimDuration::from_millis(70),
+            migration_noise_factor: 3.2,
+            jitter: 0.04,
+        }
+    }
+}
+
+impl HotplugCalib {
+    /// Combined best-case hotplug time for a (source class, destination
+    /// class) combination, as Table II reports it.
+    pub fn combo(&self, src_ib: bool, dst_ib: bool) -> SimDuration {
+        let det = if src_ib {
+            self.detach_ib
+        } else {
+            self.detach_eth
+        };
+        let att = if dst_ib {
+            self.attach_ib
+        } else {
+            self.attach_eth
+        };
+        det + att
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The decomposition must reproduce Table II within the paper's own
+    /// inconsistency (60 ms) plus a little slack.
+    #[test]
+    fn reproduces_table2_combos() {
+        let c = HotplugCalib::default();
+        let cases = [
+            (true, true, 3.88),
+            (true, false, 2.80),
+            (false, true, 1.15),
+            (false, false, 0.13),
+        ];
+        for (src_ib, dst_ib, expect) in cases {
+            let got = c.combo(src_ib, dst_ib).as_secs_f64();
+            assert!(
+                (got - expect).abs() <= 0.05,
+                "combo ib={src_ib}->{dst_ib}: {got} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ib_hotplug_dominates() {
+        let c = HotplugCalib::default();
+        assert!(c.detach_ib > c.detach_eth * 10);
+        assert!(c.attach_ib > c.attach_eth * 10);
+    }
+
+    #[test]
+    fn noise_factor_matches_fig6() {
+        let c = HotplugCalib::default();
+        // Fig. 6's IB->IB hotplug under migration is ~11-15 s vs 3.88 s.
+        let noisy = c.combo(true, true).as_secs_f64() * c.migration_noise_factor;
+        assert!((11.0..16.0).contains(&noisy), "{noisy}");
+    }
+}

@@ -1,0 +1,126 @@
+//! ACPI PCI hotplug timing model.
+//!
+//! The paper uses QEMU's `device_add` / `device_del` monitor commands plus
+//! the guest's `acpiphp` driver to add and remove VMM-bypass devices while
+//! the guest runs (Section III-B/C). Each operation has a device-class
+//! dependent latency (Table II), gets slower when a live migration is
+//! running on the same host ("migration noise", Section IV-B.2), and
+//! varies run to run (which is why the paper reports best-of-three).
+
+use crate::calib::HotplugCalib;
+use crate::pci::DeviceClass;
+use ninja_sim::{SimDuration, SimRng};
+
+/// Which hotplug operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotplugOp {
+    /// `device_del` + guest removal processing.
+    Detach,
+    /// `device_add` + guest driver bind.
+    Attach,
+}
+
+/// The hotplug latency model.
+#[derive(Debug, Clone, Default)]
+pub struct AcpiHotplug {
+    calib: HotplugCalib,
+}
+
+impl AcpiHotplug {
+    /// Creates a new instance.
+    pub fn new(calib: HotplugCalib) -> Self {
+        AcpiHotplug { calib }
+    }
+
+    /// Returns the calib.
+    pub fn calib(&self) -> &HotplugCalib {
+        &self.calib
+    }
+
+    /// Sample the duration of one hotplug operation.
+    ///
+    /// `during_migration` applies the paper's observed ~3x "migration
+    /// noise" slowdown (Fig. 6 vs Table II).
+    pub fn duration(
+        &self,
+        op: HotplugOp,
+        class: DeviceClass,
+        during_migration: bool,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let base = match (op, class) {
+            (HotplugOp::Detach, DeviceClass::IbHca) => self.calib.detach_ib,
+            (HotplugOp::Attach, DeviceClass::IbHca) => self.calib.attach_ib,
+            (HotplugOp::Detach, DeviceClass::EthNic) => self.calib.detach_eth,
+            (HotplugOp::Attach, DeviceClass::EthNic) => self.calib.attach_eth,
+        };
+        let noise = if during_migration {
+            self.calib.migration_noise_factor
+        } else {
+            1.0
+        };
+        // Jitter is one-sided-biased: the calibrated value is the *best*
+        // case (the paper reports minima), so runs are >= base on average.
+        let j = 1.0 + rng.uniform_range(0.0, 2.0 * self.calib.jitter);
+        base.mul_f64(noise * j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn best_of_three(
+        h: &AcpiHotplug,
+        op: HotplugOp,
+        class: DeviceClass,
+        during: bool,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        (0..3)
+            .map(|_| h.duration(op, class, during, rng))
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn best_of_three_near_table2() {
+        let h = AcpiHotplug::default();
+        let mut rng = SimRng::new(42);
+        let det = best_of_three(&h, HotplugOp::Detach, DeviceClass::IbHca, false, &mut rng);
+        let att = best_of_three(&h, HotplugOp::Attach, DeviceClass::IbHca, false, &mut rng);
+        let combo = (det + att).as_secs_f64();
+        assert!((3.7..4.3).contains(&combo), "IB->IB hotplug {combo}");
+    }
+
+    #[test]
+    fn eth_combo_is_fast() {
+        let h = AcpiHotplug::default();
+        let mut rng = SimRng::new(43);
+        let det = best_of_three(&h, HotplugOp::Detach, DeviceClass::EthNic, false, &mut rng);
+        let att = best_of_three(&h, HotplugOp::Attach, DeviceClass::EthNic, false, &mut rng);
+        let combo = (det + att).as_secs_f64();
+        assert!((0.10..0.20).contains(&combo), "Eth->Eth hotplug {combo}");
+    }
+
+    #[test]
+    fn migration_noise_triples() {
+        let h = AcpiHotplug::default();
+        let mut rng = SimRng::new(44);
+        let quiet = best_of_three(&h, HotplugOp::Detach, DeviceClass::IbHca, false, &mut rng);
+        let noisy = best_of_three(&h, HotplugOp::Detach, DeviceClass::IbHca, true, &mut rng);
+        let ratio = noisy.as_secs_f64() / quiet.as_secs_f64();
+        assert!((2.5..4.0).contains(&ratio), "noise ratio {ratio}");
+    }
+
+    #[test]
+    fn samples_never_beat_calibrated_best() {
+        let h = AcpiHotplug::default();
+        let mut rng = SimRng::new(45);
+        let base = h.calib().detach_ib;
+        for _ in 0..100 {
+            let d = h.duration(HotplugOp::Detach, DeviceClass::IbHca, false, &mut rng);
+            assert!(d >= base, "{d} < {base}");
+        }
+    }
+}

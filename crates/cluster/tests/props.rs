@@ -1,0 +1,109 @@
+//! Property-based tests of the cluster substrate.
+
+use ninja_cluster::{
+    Attachment, DataCenter, DeviceClass, DeviceTable, HotplugCalib, HotplugOp, Node, NodeId,
+    NodeSpec, PciAddr,
+};
+use ninja_sim::{Bandwidth, Bytes, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Node commit/release accounting never goes negative and contention
+    /// is exactly committed/cores when over-committed.
+    #[test]
+    fn node_accounting(ops in prop::collection::vec((any::<bool>(), 1u32..16, 1u64..30), 1..60)) {
+        let mut node = Node::new(NodeId(0), "n", NodeSpec::agc_blade(), 0);
+        let mut live: Vec<(u32, Bytes)> = Vec::new();
+        for &(add, vcpus, mem_gib) in &ops {
+            let mem = Bytes::from_gib(mem_gib);
+            if add {
+                if node.commit_vm(vcpus, mem) {
+                    live.push((vcpus, mem));
+                }
+            } else if let Some((v, m)) = live.pop() {
+                node.release_vm(v, m);
+            }
+            let total_v: u32 = live.iter().map(|&(v, _)| v).sum();
+            let total_m: u64 = live.iter().map(|&(_, m)| m.get()).sum();
+            prop_assert_eq!(node.committed_vcpus(), total_v);
+            prop_assert_eq!(node.committed_memory(), Bytes::new(total_m));
+            prop_assert!(total_m <= node.spec.memory.get(), "memory never oversubscribed");
+            let expect = if total_v <= 8 { 1.0 } else { total_v as f64 / 8.0 };
+            prop_assert_eq!(node.cpu_contention(), expect);
+        }
+    }
+
+    /// The Table II decomposition is order-consistent for any jittered
+    /// sampling: combos with strictly more expensive parts sample
+    /// strictly slower in expectation (checked via best-of-5).
+    #[test]
+    fn hotplug_combo_ordering(seed in any::<u64>()) {
+        let hp = ninja_cluster::AcpiHotplug::new(HotplugCalib::default());
+        let mut rng = SimRng::new(seed);
+        let mut best = |op: HotplugOp, class: DeviceClass| {
+            (0..5).map(|_| hp.duration(op, class, false, &mut rng)).min().unwrap()
+        };
+        let det_ib = best(HotplugOp::Detach, DeviceClass::IbHca);
+        let att_ib = best(HotplugOp::Attach, DeviceClass::IbHca);
+        let det_eth = best(HotplugOp::Detach, DeviceClass::EthNic);
+        let att_eth = best(HotplugOp::Attach, DeviceClass::EthNic);
+        prop_assert!(det_ib > att_ib, "IB detach slower than attach");
+        prop_assert!(att_ib > det_eth + att_eth, "any IB op dwarfs Ethernet");
+    }
+
+    /// DeviceTable lookups stay consistent under arbitrary attachment
+    /// churn.
+    #[test]
+    fn device_table_consistency(moves in prop::collection::vec((0usize..10, 0u32..4, any::<bool>()), 1..80)) {
+        let mut table = DeviceTable::new();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            ids.push(table.insert(
+                PciAddr::new(4, i as u8, 0),
+                format!("dev{i}"),
+                ninja_cluster::pci::ib_hca(i as u64),
+                Attachment::Host { node: 0 },
+            ));
+        }
+        for &(which, target, to_guest) in &moves {
+            let id = ids[which];
+            table.get_mut(id).attachment = if to_guest {
+                Attachment::Guest { vm: target }
+            } else {
+                Attachment::Host { node: target }
+            };
+            // Tag lookup agrees with the attachment we just wrote.
+            if to_guest {
+                prop_assert_eq!(table.find_by_tag_on_vm(target, &format!("dev{which}")), Some(id));
+            } else {
+                prop_assert_eq!(
+                    table.find_free_on_node(target, DeviceClass::IbHca).is_some(),
+                    true
+                );
+            }
+        }
+        prop_assert_eq!(table.len(), 10);
+    }
+
+    /// Migration-path reservations are causally sane for any request
+    /// pattern: start >= request time, end >= start, and a node's link
+    /// time never rewinds.
+    #[test]
+    fn migration_paths_causal(requests in prop::collection::vec((0usize..8, 8usize..16, 0u64..60, 1u64..8), 1..30)) {
+        let (mut dc, ib, eth) = DataCenter::agc();
+        let ib_nodes = dc.cluster(ib).nodes.clone();
+        let eth_nodes = dc.cluster(eth).nodes.clone();
+        for &(s, d, at_s, gib) in &requests {
+            let now = SimTime::ZERO + ninja_sim::SimDuration::from_secs(at_s);
+            let r = dc.reserve_migration_path(
+                ib_nodes[s],
+                eth_nodes[d - 8],
+                Bytes::from_gib(gib),
+                Some(Bandwidth::from_gbps(1.3)),
+                now,
+            );
+            prop_assert!(r.start >= now);
+            prop_assert!(r.end >= r.start);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! `ninja` — command-line driver for the Ninja migration simulator.
+//!
+//! ```text
+//! ninja fallback   [--vms N] [--procs P] [--seed S] [--json] [--trace]
+//! ninja roundtrip  [--vms N] [--procs P] [--seed S] [--json] [--trace]
+//! ninja selfmig    [--vms N] [--seed S] [--json]
+//! ninja checkpoint [--vms N] [--footprint-gib G] [--seed S] [--json]
+//! ninja fig8       [--ppv P] [--seed S]
+//! ninja evacuate   [--vms N] [--seed S] [--json]
+//! ```
+//!
+//! `--chrome-trace FILE` writes the run's phase spans as Chrome
+//! trace-event JSON (open in chrome://tracing or Perfetto).
+//!
+//! Every run is deterministic in `--seed`.
+
+use ninja_migration::{NinjaOrchestrator, NinjaReport, World};
+use ninja_vmm::SnapshotStore;
+use std::process::exit;
+
+struct Args {
+    vms: usize,
+    procs: u32,
+    seed: u64,
+    footprint_gib: u64,
+    ppv: u32,
+    json: bool,
+    trace: bool,
+    chrome_trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ninja <fallback|roundtrip|selfmig|checkpoint|fig8|evacuate> \
+         [--vms N] [--procs P] [--ppv P] [--footprint-gib G] [--seed S] [--json] [--trace]"
+    );
+    exit(2)
+}
+
+fn parse(mut argv: impl Iterator<Item = String>) -> (String, Args) {
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        vms: 4,
+        procs: 1,
+        seed: 2013,
+        footprint_gib: 8,
+        ppv: 1,
+        json: false,
+        trace: false,
+        chrome_trace: None,
+    };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a numeric value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--vms" => args.vms = value("--vms") as usize,
+            "--procs" => args.procs = value("--procs") as u32,
+            "--ppv" => args.ppv = value("--ppv") as u32,
+            "--seed" => args.seed = value("--seed"),
+            "--footprint-gib" => args.footprint_gib = value("--footprint-gib"),
+            "--json" => args.json = true,
+            "--trace" => args.trace = true,
+            "--chrome-trace" => {
+                args.chrome_trace = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    if args.vms == 0 || args.vms > 8 || args.procs == 0 || args.procs > 8 {
+        eprintln!("--vms must be 1..=8 and --procs 1..=8 (AGC testbed limits)");
+        exit(2);
+    }
+    (cmd, args)
+}
+
+fn emit(report: &NinjaReport, args: &Args, world: &World) {
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(report).expect("serializable")
+        );
+    } else {
+        println!("{report}");
+    }
+    if args.trace {
+        eprintln!("\n--- trace ---\n{}", world.trace.render());
+    }
+}
+
+fn main() {
+    let (cmd, args) = parse(std::env::args().skip(1));
+    let mut world = World::agc(args.seed);
+    let orch = NinjaOrchestrator::default();
+    match cmd.as_str() {
+        "fallback" => {
+            let vms = world.boot_ib_vms(args.vms);
+            let mut rt = world.start_job(vms, args.procs);
+            let dsts: Vec<_> = (0..args.vms).map(|i| world.eth_node(i)).collect();
+            let report = orch
+                .migrate(&mut world, &mut rt, &dsts)
+                .unwrap_or_else(|e| {
+                    eprintln!("migration failed: {e}");
+                    exit(1)
+                });
+            emit(&report, &args, &world);
+        }
+        "roundtrip" => {
+            let vms = world.boot_ib_vms(args.vms);
+            let mut rt = world.start_job(vms, args.procs);
+            let eth: Vec<_> = (0..args.vms).map(|i| world.eth_node(i)).collect();
+            let ib: Vec<_> = (0..args.vms).map(|i| world.ib_node(i)).collect();
+            let fallback = orch.migrate(&mut world, &mut rt, &eth).expect("fallback");
+            let recovery = orch.migrate(&mut world, &mut rt, &ib).expect("recovery");
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::json!({ "fallback": fallback, "recovery": recovery })
+                );
+            } else {
+                println!("--- fallback ---\n{fallback}\n--- recovery ---\n{recovery}");
+            }
+            if args.trace {
+                eprintln!("\n--- trace ---\n{}", world.trace.render());
+            }
+        }
+        "selfmig" => {
+            let vms = world.boot_ib_vms(args.vms);
+            let mut rt = world.start_job(vms, args.procs);
+            let same: Vec<_> = (0..args.vms).map(|i| world.ib_node(i)).collect();
+            let report = orch
+                .migrate(&mut world, &mut rt, &same)
+                .expect("self-migration");
+            emit(&report, &args, &world);
+        }
+        "checkpoint" => {
+            let vms = world.boot_ib_vms(args.vms);
+            let mut rt = world.start_job(vms.clone(), args.procs);
+            ninja_workloads_shim::install(&mut world, &rt, args.footprint_gib);
+            let mut store = SnapshotStore::new();
+            let (handle, ck) = orch
+                .checkpoint(&mut world, &mut rt, &mut store)
+                .expect("checkpoint");
+            for &vm in &vms {
+                world.pool.destroy(vm, &mut world.dc);
+            }
+            let dsts: Vec<_> = (0..args.vms).map(|i| world.eth_node(i)).collect();
+            let rs = orch
+                .restart(&mut world, &mut rt, &handle, &store, &dsts)
+                .expect("restart");
+            if args.json {
+                println!("{}", serde_json::json!({ "checkpoint": ck, "restart": rs }));
+            } else {
+                println!(
+                    "checkpoint: coordination {} detach {} save {} attach {} linkup {} (total {:.2}s)",
+                    ck.coordination, ck.detach, ck.save, ck.attach, ck.linkup, ck.total()
+                );
+                println!(
+                    "restart:    restore {} attach {} linkup {} -> {} (total {:.2}s)",
+                    rs.restore,
+                    rs.attach,
+                    rs.linkup,
+                    rs.transport_after.as_deref().unwrap_or("?"),
+                    rs.total()
+                );
+            }
+        }
+        "evacuate" => {
+            // Two jobs share the failing IB cluster; the drill moves
+            // everything to the Ethernet site, capacity-aware.
+            let a_vms = world.boot_ib_vms(args.vms.min(6));
+            let mut job_a = world.start_job(a_vms, args.procs);
+            let b_start = args.vms.min(6);
+            let mut b_vms = Vec::new();
+            for i in b_start..(b_start + 2).min(8) {
+                let node = world.ib_node(i);
+                let vm = world
+                    .pool
+                    .create(
+                        format!("job-b-{i}"),
+                        ninja_vmm::VmSpec::paper_vm(),
+                        node,
+                        ninja_cluster::StorageId(0),
+                        &mut world.dc,
+                    )
+                    .expect("node free");
+                let (_, at) = world
+                    .pool
+                    .attach_ib_hca(vm, &mut world.dc, world.clock, &mut world.rng)
+                    .expect("HCA free");
+                world.advance_to(at);
+                b_vms.push(vm);
+            }
+            let mut job_b = world.start_job(b_vms, 1);
+            let from = world.ib_cluster;
+            let to = world.eth_cluster;
+            let report = ninja_migration::evacuate_cluster(
+                &mut world,
+                &mut [&mut job_a, &mut job_b],
+                from,
+                to,
+                &orch,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("evacuation failed: {e}");
+                exit(1)
+            });
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("serializable")
+                );
+            } else {
+                println!(
+                    "evacuated {} jobs ({} VMs) in {:.1}s",
+                    report.jobs, report.vms, report.total_seconds
+                );
+                for (i, m) in report.migrations.iter().enumerate() {
+                    println!("\n--- job {} ---\n{m}", i + 1);
+                }
+            }
+        }
+        "fig8" => {
+            // Convenience alias for the bench binary's scenario at one
+            // setting, without claims/JSON output.
+            let vms = world.boot_ib_vms(4);
+            let mut rt = world.start_job(vms, args.ppv);
+            let eth2: Vec<_> = (0..2).map(|i| world.eth_node(i)).collect();
+            let ib4: Vec<_> = (0..4).map(|i| world.ib_node(i)).collect();
+            let eth4: Vec<_> = (0..4).map(|i| world.eth_node(i)).collect();
+            for (label, dsts) in [
+                ("fallback to 2 hosts (TCP)", eth2),
+                ("recovery to 4 hosts (IB)", ib4),
+                ("fallback to 4 hosts (TCP)", eth4),
+            ] {
+                let report = orch.migrate(&mut world, &mut rt, &dsts).expect("phase");
+                println!("== {label} ==\n{report}\n");
+            }
+        }
+        _ => usage(),
+    }
+    if let Some(path) = &args.chrome_trace {
+        match std::fs::write(path, world.trace.to_chrome_json()) {
+            Ok(()) => eprintln!("(wrote {path})"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Minimal inline reimplementation of the workload memory-profile
+/// installer, to avoid a circular dependency on `ninja-workloads`.
+mod ninja_workloads_shim {
+    use ninja_migration::World;
+    use ninja_mpi::MpiRuntime;
+    use ninja_sim::Bytes;
+
+    pub fn install(world: &mut World, rt: &MpiRuntime, footprint_gib: u64) {
+        for &vm in rt.layout().vms() {
+            world
+                .pool
+                .get_mut(vm)
+                .memory
+                .set_workload(Bytes::from_gib(footprint_gib), 0.3, 1e9);
+        }
+    }
+}

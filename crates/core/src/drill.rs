@@ -1,0 +1,260 @@
+//! Cluster evacuation drills.
+//!
+//! The paper's disaster-recovery use case evacuates *a data center*, not
+//! one job: "VMs are evacuated from a disaster-affected data center to a
+//! safe data center before those VMs crash" (Section II-A). This module
+//! plans and executes the evacuation of **every** job resident on a
+//! failing cluster: capacity-aware first-fit placement of each job's
+//! VMs onto the destination cluster, one Ninja migration per job, and a
+//! recovery-time report an operator can hold against an RTO target.
+
+use crate::orchestrator::NinjaOrchestrator;
+use crate::report::NinjaReport;
+use crate::world::World;
+use ninja_cluster::{ClusterId, NodeId};
+use ninja_mpi::MpiRuntime;
+use ninja_sim::SimTime;
+use ninja_symvirt::SymVirtError;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Outcome of an evacuation drill.
+#[derive(Debug, Clone, Serialize)]
+pub struct DrillReport {
+    /// Jobs moved.
+    pub jobs: usize,
+    /// VMs moved.
+    pub vms: usize,
+    /// Wall-clock recovery time: first trigger to last job resumed.
+    pub total_seconds: f64,
+    /// Per-job migration reports, in evacuation order.
+    pub migrations: Vec<NinjaReport>,
+}
+
+/// Errors from drill planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrillError {
+    /// The destination cluster cannot hold everything.
+    InsufficientCapacity {
+        /// VMs that could not be placed.
+        unplaced: usize,
+    },
+    /// A migration failed mid-drill.
+    Migration(SymVirtError),
+}
+
+impl std::fmt::Display for DrillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrillError::InsufficientCapacity { unplaced } => {
+                write!(f, "destination cluster cannot hold {unplaced} of the VMs")
+            }
+            DrillError::Migration(e) => write!(f, "evacuation migration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DrillError {}
+
+/// Plan destination nodes for every job on `from`, first-fit by memory
+/// onto `to`. Returns one host list per job (aligned with `jobs`);
+/// jobs with no VMs on `from` get an empty list (not evacuated).
+pub fn plan_evacuation(
+    world: &World,
+    jobs: &[&MpiRuntime],
+    from: ClusterId,
+    to: ClusterId,
+) -> Result<Vec<Vec<NodeId>>, DrillError> {
+    // Free memory per destination node, accounting for already-resident
+    // VMs.
+    let mut free: BTreeMap<NodeId, u64> = world
+        .dc
+        .cluster(to)
+        .nodes
+        .iter()
+        .map(|&n| {
+            let node = world.dc.node(n);
+            (n, node.spec.memory.get() - node.committed_memory().get())
+        })
+        .collect();
+    let mut plans = Vec::with_capacity(jobs.len());
+    let mut unplaced = 0usize;
+    for job in jobs {
+        let mut dsts = Vec::new();
+        for &vm in job.layout().vms() {
+            let v = world.pool.get(vm);
+            if world.dc.cluster_of(v.node) != from {
+                continue; // not on the failing cluster
+            }
+            let need = v.spec.memory.get();
+            // First-fit over destination nodes.
+            match free.iter_mut().find(|(_, f)| **f >= need) {
+                Some((&n, f)) => {
+                    *f -= need;
+                    dsts.push(n);
+                }
+                None => unplaced += 1,
+            }
+        }
+        plans.push(dsts);
+    }
+    if unplaced > 0 {
+        return Err(DrillError::InsufficientCapacity { unplaced });
+    }
+    Ok(plans)
+}
+
+/// Execute the evacuation: every job resident on `from` Ninja-migrates
+/// to its planned destinations on `to`, in order.
+pub fn evacuate_cluster(
+    world: &mut World,
+    jobs: &mut [&mut MpiRuntime],
+    from: ClusterId,
+    to: ClusterId,
+    orch: &NinjaOrchestrator,
+) -> Result<DrillReport, DrillError> {
+    let plans = {
+        let views: Vec<&MpiRuntime> = jobs.iter().map(|j| &**j).collect();
+        plan_evacuation(world, &views, from, to)?
+    };
+    let started: SimTime = world.clock;
+    let mut migrations = Vec::new();
+    let mut vms = 0usize;
+    for (job, dsts) in jobs.iter_mut().zip(plans) {
+        if dsts.is_empty() {
+            continue;
+        }
+        vms += job.layout().vms().len();
+        let report = orch
+            .migrate(world, job, &dsts)
+            .map_err(DrillError::Migration)?;
+        migrations.push(report);
+    }
+    Ok(DrillReport {
+        jobs: migrations.len(),
+        vms,
+        total_seconds: world.clock.since(started).as_secs_f64(),
+        migrations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_net::TransportKind;
+
+    /// Two jobs (4 VMs + 2 VMs) on the IB cluster.
+    fn two_jobs(world: &mut World) -> (MpiRuntime, MpiRuntime) {
+        let a = world.boot_ib_vms(4);
+        let job_a = world.start_job(a, 1);
+        // Second job on the remaining IB nodes.
+        let mut b = Vec::new();
+        for i in 4..6 {
+            let node = world.ib_node(i);
+            let vm = world
+                .pool
+                .create(
+                    format!("job-b-{i}"),
+                    ninja_vmm::VmSpec::paper_vm(),
+                    node,
+                    ninja_cluster::StorageId(0),
+                    &mut world.dc,
+                )
+                .unwrap();
+            let (_, at) = world
+                .pool
+                .attach_ib_hca(vm, &mut world.dc, world.clock, &mut world.rng)
+                .unwrap();
+            world.advance_to(at);
+            b.push(vm);
+        }
+        let job_b = world.start_job(b, 1);
+        (job_a, job_b)
+    }
+
+    #[test]
+    fn full_cluster_evacuation() {
+        let mut w = World::agc(1600);
+        let (mut a, mut b) = two_jobs(&mut w);
+        let from = w.ib_cluster;
+        let to = w.eth_cluster;
+        let report = evacuate_cluster(
+            &mut w,
+            &mut [&mut a, &mut b],
+            from,
+            to,
+            &NinjaOrchestrator::default(),
+        )
+        .unwrap();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.vms, 6);
+        assert!(report.total_seconds > 0.0);
+        // Every VM left the failing cluster; both jobs run on TCP.
+        for vm in w.pool.iter() {
+            assert_eq!(w.dc.cluster_of(vm.node), to);
+        }
+        assert_eq!(a.uniform_network_kind(), Some(TransportKind::Tcp));
+        assert_eq!(b.uniform_network_kind(), Some(TransportKind::Tcp));
+        // The failing cluster is empty.
+        for &n in &w.dc.cluster(from).nodes {
+            assert_eq!(w.dc.node(n).committed_vcpus(), 0);
+        }
+    }
+
+    #[test]
+    fn plan_respects_capacity_first_fit() {
+        let mut w = World::agc(1601);
+        let (a, b) = two_jobs(&mut w);
+        let plans = plan_evacuation(&w, &[&a, &b], w.ib_cluster, w.eth_cluster).unwrap();
+        // 6 x 20 GiB VMs onto 8 x 48 GiB nodes: first-fit packs 2/node,
+        // using 3 nodes.
+        let mut used: std::collections::BTreeMap<NodeId, usize> = Default::default();
+        for n in plans.iter().flatten() {
+            *used.entry(*n).or_insert(0) += 1;
+        }
+        assert_eq!(plans[0].len() + plans[1].len(), 6);
+        assert_eq!(used.len(), 3, "2:1 packing: {used:?}");
+        assert!(used.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn overfull_destination_is_rejected_up_front() {
+        let mut w = World::agc(1602);
+        let (a, b) = two_jobs(&mut w);
+        // Pre-fill the Ethernet cluster so only two 20 GiB slots remain.
+        for i in 0..7 {
+            for j in 0..2 {
+                w.pool
+                    .create(
+                        format!("squatter-{i}-{j}"),
+                        ninja_vmm::VmSpec::paper_vm(),
+                        w.eth_node(i),
+                        ninja_cluster::StorageId(0),
+                        &mut w.dc,
+                    )
+                    .unwrap();
+            }
+        }
+        let err = plan_evacuation(&w, &[&a, &b], w.ib_cluster, w.eth_cluster).unwrap_err();
+        assert_eq!(err, DrillError::InsufficientCapacity { unplaced: 4 });
+    }
+
+    #[test]
+    fn jobs_elsewhere_are_skipped() {
+        let mut w = World::agc(1603);
+        let eth_vms = w.boot_eth_vms(2);
+        let mut eth_job = w.start_job(eth_vms, 1);
+        let from = w.ib_cluster;
+        let to = w.eth_cluster;
+        let report = evacuate_cluster(
+            &mut w,
+            &mut [&mut eth_job],
+            from,
+            to,
+            &NinjaOrchestrator::default(),
+        )
+        .unwrap();
+        assert_eq!(report.jobs, 0, "already-safe job untouched");
+        assert_eq!(report.vms, 0);
+    }
+}

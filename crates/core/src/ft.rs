@@ -1,0 +1,377 @@
+//! Proactive fault tolerance: coordinated checkpoint and restart.
+//!
+//! Beyond live migration, the SymVirt mechanism exists "to
+//! simultaneously migrate **and checkpoint/restart** multiple co-located
+//! VMs" (Section III-B), and the paper's non-stop-maintenance use case
+//! notes that "we can restart VMs on an Ethernet cluster from
+//! checkpointed VM images on an Infiniband cluster" (Section II-A).
+//!
+//! [`NinjaOrchestrator::checkpoint`] runs the same choreography as a
+//! migration with `savevm` in place of `migrate`: quiesce → release IB
+//! → SymVirt wait → detach → snapshot every VM to NFS → re-attach →
+//! signal → rebuild BTL modules. [`NinjaOrchestrator::restart`] brings
+//! a checkpointed job back on a (possibly different-interconnect)
+//! cluster: restore the images, re-attach HCAs where available, resume,
+//! and let the MPI restart path rebuild connections.
+
+use crate::orchestrator::NinjaOrchestrator;
+use crate::report::SimSecs;
+use crate::world::World;
+use ninja_cluster::NodeId;
+use ninja_mpi::MpiRuntime;
+use ninja_sim::{SimDuration, SimTime};
+use ninja_symvirt::{Controller, Coordinator, SymVirtError};
+use ninja_vmm::{SnapshotId, SnapshotStore, VmId};
+use serde::Serialize;
+
+/// A completed coordinated checkpoint: one snapshot per VM, in job
+/// (hostlist) order.
+#[derive(Debug, Clone)]
+pub struct CheckpointHandle {
+    /// Snapshot ids, aligned with the job's VM order.
+    pub snapshots: Vec<SnapshotId>,
+    /// When the globally consistent state was captured.
+    pub taken_at: SimTime,
+    /// Ranks-per-VM of the checkpointed job (restart must match).
+    pub procs_per_vm: u32,
+}
+
+/// Overhead breakdown of a coordinated checkpoint.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointReport {
+    /// CRCP quiesce + IB release + SymVirt handshakes.
+    pub coordination: SimSecs,
+    /// Parallel `device_del` phase.
+    pub detach: SimSecs,
+    /// Parallel `savevm` phase (max over VMs; NFS-bandwidth bound).
+    pub save: SimSecs,
+    /// Parallel `device_add` phase.
+    pub attach: SimSecs,
+    /// Wait for IB link training before the job resumes on openib.
+    pub linkup: SimSecs,
+    /// Bytes written to the snapshot store.
+    pub image_bytes: u64,
+}
+
+impl CheckpointReport {
+    /// Total frozen time the application observes.
+    pub fn total(&self) -> f64 {
+        self.coordination.0 + self.detach.0 + self.save.0 + self.attach.0 + self.linkup.0
+    }
+}
+
+/// Overhead breakdown of a restart from checkpoint.
+#[derive(Debug, Clone, Serialize)]
+pub struct RestartReport {
+    /// Parallel image-restore phase (NFS read; max over VMs).
+    pub restore: SimSecs,
+    /// Parallel `device_add` phase on the new hosts.
+    pub attach: SimSecs,
+    /// IB link training wait (zero on Ethernet hosts).
+    pub linkup: SimSecs,
+    /// Transport the restarted job bound.
+    pub transport_after: Option<String>,
+    /// New VM ids, aligned with the old job order.
+    #[serde(skip)]
+    pub new_vms: Vec<VmId>,
+}
+
+impl RestartReport {
+    /// Total time from restart request to the job computing again.
+    pub fn total(&self) -> f64 {
+        self.restore.0 + self.attach.0 + self.linkup.0
+    }
+}
+
+impl NinjaOrchestrator {
+    /// Take a coordinated checkpoint of the whole job, leaving it
+    /// running afterwards (proactive FT: the checkpoint is insurance).
+    pub fn checkpoint(
+        &self,
+        world: &mut World,
+        rt: &mut MpiRuntime,
+        store: &mut SnapshotStore,
+    ) -> Result<(CheckpointHandle, CheckpointReport), SymVirtError> {
+        let vms = Coordinator::vms_of(rt);
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "checkpoint.start",
+            format!("{} VMs", vms.len()),
+        );
+
+        // Guest side: consistent state, IB released, VMs paused.
+        let env = world.comm_env();
+        let coord = Coordinator.checkpoint_and_wait(
+            rt,
+            &env,
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+        )?;
+        world.advance(coord.total());
+
+        let mut ctl = Controller::new(vms.clone(), self.monitor().clone());
+        ctl.wait_all(&world.pool)?;
+
+        // Detach passthrough devices: qcow2 snapshots cannot capture a
+        // physical HCA's state.
+        let detach = ctl.device_detach(
+            "hca-",
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            false,
+        )?;
+        world.advance(detach.duration);
+
+        // savevm on every VM in parallel: phase cost = max.
+        let mut save_max = SimDuration::ZERO;
+        let mut snapshots = Vec::with_capacity(vms.len());
+        let taken_at = world.clock;
+        for &vm in &vms {
+            let (id, dur) = store.save(world.pool.get(vm), world.clock);
+            snapshots.push(id);
+            save_max = save_max.max(dur);
+        }
+        world.advance(save_max);
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "checkpoint.saved",
+            format!("{} images, {}", snapshots.len(), store.stored_bytes()),
+        );
+
+        // Re-attach, resume, wait out link training, rebuild modules.
+        let attach = ctl.device_attach(
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            false,
+        )?;
+        world.advance(attach.duration);
+        ctl.signal(&mut world.pool)?;
+        ctl.close();
+
+        let mut linkup = SimDuration::ZERO;
+        if rt.needs_reconstruction() {
+            if let Some(active_at) = attach.link_active_at {
+                if active_at > world.clock {
+                    linkup = active_at.since(world.clock);
+                    world.advance_to(active_at);
+                }
+            }
+        }
+        Coordinator.continue_callback(rt, &world.pool, &mut world.dc, world.clock)?;
+        world
+            .trace
+            .phase(world.clock, "ninja", "checkpoint.end", "");
+
+        let image_bytes: u64 = snapshots
+            .iter()
+            .map(|&s| store.get(s).image_bytes.get())
+            .sum();
+        Ok((
+            CheckpointHandle {
+                snapshots,
+                taken_at,
+                procs_per_vm: rt.layout().procs_per_vm(),
+            },
+            CheckpointReport {
+                coordination: coord.total().into(),
+                detach: detach.duration.into(),
+                save: save_max.into(),
+                attach: attach.duration.into(),
+                linkup: linkup.into(),
+                image_bytes,
+            },
+        ))
+    }
+
+    /// Restart a checkpointed job on `dsts` (one VM per destination,
+    /// wrapping). The job's previous VMs are assumed gone (crashed or
+    /// destroyed); the caller destroys them — this models the reactive
+    /// path where the original data center failed.
+    pub fn restart(
+        &self,
+        world: &mut World,
+        rt: &mut MpiRuntime,
+        handle: &CheckpointHandle,
+        store: &SnapshotStore,
+        dsts: &[NodeId],
+    ) -> Result<RestartReport, SymVirtError> {
+        if dsts.is_empty() {
+            return Err(SymVirtError::EmptyHostlist);
+        }
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "restart.start",
+            format!("{} images", handle.snapshots.len()),
+        );
+
+        // Restore every image in parallel: boot new VMs in SymWait.
+        let mut restore_max = SimDuration::ZERO;
+        let mut new_vms = Vec::with_capacity(handle.snapshots.len());
+        for (i, &snap) in handle.snapshots.iter().enumerate() {
+            let node = dsts[i % dsts.len()];
+            let vm = world
+                .pool
+                .restore_from_snapshot(store.get(snap), node, &mut world.dc)
+                .map_err(SymVirtError::Vmm)?;
+            restore_max = restore_max.max(store.restore_duration(snap));
+            new_vms.push(vm);
+        }
+        world.advance(restore_max);
+
+        // Attach HCAs where the destination has them, then resume.
+        let mut ctl = Controller::new(new_vms.clone(), self.monitor().clone());
+        ctl.wait_all(&world.pool)?;
+        let attach = ctl.device_attach(
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            false,
+        )?;
+        world.advance(attach.duration);
+        ctl.signal(&mut world.pool)?;
+        ctl.close();
+
+        // The restored runtime rebuilds from the checkpointed state.
+        rt.mark_restored_from_checkpoint();
+        let mut linkup = SimDuration::ZERO;
+        if let Some(active_at) = attach.link_active_at {
+            if active_at > world.clock {
+                linkup = active_at.since(world.clock);
+                world.advance_to(active_at);
+            }
+        }
+        rt.restart_on(new_vms.clone(), &world.pool, &mut world.dc, world.clock)
+            .map_err(SymVirtError::Runtime)?;
+        let transport_after = rt.uniform_network_kind().map(|k| k.to_string());
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "restart.end",
+            format!("transport {:?}", transport_after),
+        );
+
+        Ok(RestartReport {
+            restore: restore_max.into(),
+            attach: attach.duration.into(),
+            linkup: linkup.into(),
+            transport_after,
+            new_vms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_net::TransportKind;
+
+    #[test]
+    fn checkpoint_leaves_job_running_on_ib() {
+        let mut w = World::agc(500);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms.clone(), 1);
+        let mut store = SnapshotStore::new();
+        let (handle, report) = NinjaOrchestrator::default()
+            .checkpoint(&mut w, &mut rt, &mut store)
+            .unwrap();
+        assert_eq!(handle.snapshots.len(), 4);
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::OpenIb));
+        assert_eq!(rt.state(), ninja_mpi::RuntimeState::Active);
+        for &vm in &vms {
+            assert_eq!(w.pool.get(vm).state, ninja_vmm::VmState::Running);
+        }
+        // Checkpoint pays detach + save + attach + linkup.
+        assert!(
+            report.save.0 > 1.0,
+            "NFS write of ~2 GiB/VM: {}",
+            report.save
+        );
+        assert!(
+            report.linkup.0 > 25.0,
+            "IB re-attach trains: {}",
+            report.linkup
+        );
+        assert!((report.detach.0 + report.attach.0) > 3.0);
+    }
+
+    #[test]
+    fn restart_on_ethernet_cluster() {
+        let mut w = World::agc(501);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms.clone(), 2);
+        let mut store = SnapshotStore::new();
+        let orch = NinjaOrchestrator::default();
+        let (handle, _) = orch.checkpoint(&mut w, &mut rt, &mut store).unwrap();
+
+        // Disaster: the IB cluster dies.
+        for &vm in &vms {
+            w.pool.destroy(vm, &mut w.dc);
+        }
+        assert_eq!(w.dc.node(w.ib_node(0)).committed_vcpus(), 0);
+
+        // Reactive restart on the Ethernet cluster.
+        let dsts: Vec<_> = (0..4).map(|i| w.eth_node(i)).collect();
+        let report = orch
+            .restart(&mut w, &mut rt, &handle, &store, &dsts)
+            .unwrap();
+        assert_eq!(report.transport_after.as_deref(), Some("tcp"));
+        assert_eq!(report.linkup.0, 0.0, "Ethernet restart waits for nothing");
+        assert!(report.restore.0 > 1.0, "NFS read: {}", report.restore);
+        // The job is whole again: same shape, new VMs, running.
+        assert_eq!(rt.layout().total_ranks(), 8);
+        for &vm in &report.new_vms {
+            assert_eq!(w.pool.get(vm).state, ninja_vmm::VmState::Running);
+            assert_eq!(w.pool.get(vm).node.0 / 8, 1, "on the Ethernet cluster");
+        }
+    }
+
+    #[test]
+    fn restart_back_on_ib_pays_linkup() {
+        let mut w = World::agc(502);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        let mut store = SnapshotStore::new();
+        let orch = NinjaOrchestrator::default();
+        let (handle, _) = orch.checkpoint(&mut w, &mut rt, &mut store).unwrap();
+        for &vm in &vms {
+            w.pool.destroy(vm, &mut w.dc);
+        }
+        // Restart on different IB nodes (2 and 3).
+        let dsts: Vec<_> = (2..4).map(|i| w.ib_node(i)).collect();
+        let report = orch
+            .restart(&mut w, &mut rt, &handle, &store, &dsts)
+            .unwrap();
+        assert_eq!(report.transport_after.as_deref(), Some("openib"));
+        assert!(report.linkup.0 > 25.0);
+    }
+
+    #[test]
+    fn restored_memory_matches_checkpointed() {
+        let mut w = World::agc(503);
+        let vms = w.boot_ib_vms(1);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.pool
+            .get_mut(vms[0])
+            .memory
+            .set_workload(ninja_sim::Bytes::from_gib(6), 0.2, 1e9);
+        let mut store = SnapshotStore::new();
+        let orch = NinjaOrchestrator::default();
+        let (handle, _) = orch.checkpoint(&mut w, &mut rt, &mut store).unwrap();
+        w.pool.destroy(vms[0], &mut w.dc);
+        let dst = w.eth_node(0);
+        let report = orch
+            .restart(&mut w, &mut rt, &handle, &store, &[dst])
+            .unwrap();
+        let restored = &w.pool.get(report.new_vms[0]).memory;
+        assert_eq!(restored.workload_touched(), ninja_sim::Bytes::from_gib(6));
+    }
+}

@@ -1,0 +1,437 @@
+//! The Ninja migration orchestrator — the library's headline API.
+//!
+//! Executes the full control flow of the paper's Fig. 4 over the
+//! simulated stack:
+//!
+//! ```text
+//! application --- confirm ........................ confirm linkup ---
+//! coordinator --- SymVirt wait ................... SymVirt signal ---
+//! VMM mode    ---      [detach] [migration] [re-attach]          ---
+//! ```
+//!
+//! One call to [`NinjaOrchestrator::migrate`] performs: CRCP quiesce +
+//! IB release + SymVirt wait (guest side), then detach → migrate →
+//! re-attach through the SymVirt controller/agents (host side), then
+//! SymVirt signal, the link-up wait, and BTL reconstruction — returning
+//! a [`NinjaReport`] with the paper's overhead breakdown.
+
+use crate::report::NinjaReport;
+use crate::world::World;
+use ninja_cluster::NodeId;
+use ninja_sim::SimDuration;
+use ninja_symvirt::{Controller, GuestCooperative, ResumeOutcome, SymVirtError};
+use ninja_vmm::{MigrationConfig, QemuMonitor};
+
+/// Orchestrates Ninja migrations.
+#[derive(Debug, Clone, Default)]
+pub struct NinjaOrchestrator {
+    monitor: QemuMonitor,
+}
+
+impl NinjaOrchestrator {
+    /// With an explicit migration configuration (sender cap, scan rate,
+    /// downtime limit).
+    pub fn new(cfg: MigrationConfig) -> Self {
+        NinjaOrchestrator {
+            monitor: QemuMonitor::new(cfg),
+        }
+    }
+
+    /// The monitor (and thus migration config) in use.
+    pub fn monitor(&self) -> &QemuMonitor {
+        &self.monitor
+    }
+
+    /// Migrate an MPI job: VM *i* goes to `dsts[i % dsts.len()]`.
+    /// Passing each VM's current node performs the paper's
+    /// *self-migration* (Table II). Advances `world.clock` through every
+    /// phase and returns the overhead breakdown.
+    ///
+    /// This is [`NinjaOrchestrator::migrate_app`] specialized to the MPI
+    /// runtime — any [`GuestCooperative`] application works, per the
+    /// paper's planned "generic communication layer" (Section VII).
+    pub fn migrate(
+        &self,
+        world: &mut World,
+        rt: &mut ninja_mpi::MpiRuntime,
+        dsts: &[NodeId],
+    ) -> Result<NinjaReport, SymVirtError> {
+        self.migrate_app(world, rt, dsts)
+    }
+
+    /// Recover from a migration that failed mid-flight: the guests are
+    /// frozen in SymVirt wait, possibly with their HCAs already
+    /// detached. Re-attach where the current host has a free HCA,
+    /// resume the guests, wait out any link training, and let the
+    /// application rebuild its transports in place. Returns the time
+    /// the recovery took.
+    ///
+    /// This is the operator's "roll back" after
+    /// [`NinjaOrchestrator::migrate`] returns an error between the
+    /// detach and signal phases.
+    pub fn abort_and_resume(
+        &self,
+        world: &mut World,
+        app: &mut dyn GuestCooperative,
+    ) -> Result<ninja_sim::SimDuration, SymVirtError> {
+        let started = world.clock;
+        let vms = app.vms();
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "abort.start",
+            format!("{} VMs", vms.len()),
+        );
+        let mut ctl = Controller::new(vms.clone(), self.monitor.clone());
+        // Only VMs still frozen participate; a half-signalled job is
+        // not recoverable this way.
+        ctl.wait_all(&world.pool)?;
+        let attach = ctl.device_attach(
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            false,
+        )?;
+        world.advance(attach.duration);
+        ctl.signal(&mut world.pool)?;
+        ctl.close();
+        if app.needs_link_wait() {
+            if let Some(active_at) = attach.link_active_at {
+                world.advance_to(active_at);
+            }
+        }
+        app.resume_after_blackout(&world.pool, &mut world.dc, world.clock)?;
+        world.trace.phase(world.clock, "ninja", "abort.end", "");
+        Ok(world.clock.since(started))
+    }
+
+    /// Migrate any cooperative guest application (MPI or otherwise).
+    pub fn migrate_app(
+        &self,
+        world: &mut World,
+        app: &mut dyn GuestCooperative,
+        dsts: &[NodeId],
+    ) -> Result<NinjaReport, SymVirtError> {
+        if dsts.is_empty() {
+            return Err(SymVirtError::EmptyHostlist);
+        }
+        let vms = app.vms();
+        let transport_before = app.transport_label();
+        let t_start = world.clock;
+        world.trace.phase(
+            t_start,
+            "ninja",
+            "ninja.start",
+            format!("{} VMs", vms.len()),
+        );
+
+        // --- 1. guest side: consistent state, resources released,
+        //        SymVirt wait --------------------------------------------
+        world
+            .trace
+            .phase(world.clock, "ninja", "coordination.start", "");
+        let prep = app.prepare_for_blackout(&world.pool, &mut world.dc, world.clock)?;
+        for &vm in &vms {
+            world.pool.pause(vm).map_err(SymVirtError::Vmm)?;
+        }
+        world.advance(prep.duration);
+        world
+            .trace
+            .phase(world.clock, "ninja", "coordination.end", "");
+        let coordination = prep.duration;
+
+        // --- 2. host side: controller over the job's VMs --------------
+        let mut ctl = Controller::new(vms.clone(), self.monitor.clone());
+        ctl.wait_all(&world.pool)?;
+
+        // A "real" move (to different nodes) makes hotplug noisy.
+        let real_move = vms
+            .iter()
+            .enumerate()
+            .any(|(i, &vm)| world.pool.get(vm).node != dsts[i % dsts.len()]);
+
+        // --- 3. detach the VMM-bypass devices --------------------------
+        world.trace.phase(world.clock, "ninja", "detach.start", "");
+        let detach = ctl.device_detach(
+            "hca-",
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            real_move,
+        )?;
+        world.advance(detach.duration);
+        world.trace.phase(world.clock, "ninja", "detach.end", "");
+
+        // --- 4. live migration -----------------------------------------
+        world
+            .trace
+            .phase(world.clock, "ninja", "migration.start", "");
+        let mig_started = world.clock;
+        let mig = ctl.migration(
+            dsts,
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+        )?;
+        world.advance_to(mig.completed_at);
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "migration.end",
+            format!("{} on wire", mig.total_wire_bytes()),
+        );
+        let migration_time = mig.completed_at.since(mig_started);
+
+        // --- 5. re-attach where the destination has HCAs ---------------
+        world.trace.phase(world.clock, "ninja", "attach.start", "");
+        let attach = ctl.device_attach(
+            &mut world.pool,
+            &mut world.dc,
+            world.clock,
+            &mut world.rng,
+            real_move,
+        )?;
+        world.advance(attach.duration);
+        world.trace.phase(world.clock, "ninja", "attach.end", "");
+
+        // --- 6. SymVirt signal: resume the guests -----------------------
+        ctl.signal(&mut world.pool)?;
+        ctl.close();
+
+        // --- 7. confirm link-up + BTL reconstruction --------------------
+        // The application resumes inside the continue callback. If the
+        // runtime is going to rebuild modules and IB links are training,
+        // it must wait for them ("confirm linkup" in Fig. 4); if it keeps
+        // its TCP connections it continues immediately.
+        world.trace.phase(world.clock, "ninja", "linkup.start", "");
+        let mut linkup = SimDuration::ZERO;
+        if app.needs_link_wait() {
+            if let Some(active_at) = attach.link_active_at {
+                if active_at > world.clock {
+                    linkup = active_at.since(world.clock);
+                    world.advance_to(active_at);
+                }
+            }
+        }
+        world.trace.phase(world.clock, "ninja", "linkup.end", "");
+        let outcome = app.resume_after_blackout(&world.pool, &mut world.dc, world.clock)?;
+        let btl_reconstructed = matches!(outcome, ResumeOutcome::Rebuilt);
+        let transport_after = app.transport_label();
+        world.trace.phase(
+            world.clock,
+            "ninja",
+            "ninja.end",
+            format!(
+                "total {:.2}s, transport {:?} -> {:?}",
+                world.clock.since(t_start).as_secs_f64(),
+                transport_before,
+                transport_after
+            ),
+        );
+
+        Ok(NinjaReport::new(
+            coordination,
+            detach.duration,
+            migration_time,
+            attach.duration,
+            linkup,
+            mig.total_wire_bytes(),
+            transport_before,
+            transport_after,
+            btl_reconstructed,
+            vms.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_net::TransportKind;
+
+    /// Fallback: 4 VMs from IB nodes to Ethernet nodes.
+    #[test]
+    fn fallback_migration_switches_to_tcp() {
+        let mut w = World::agc(42);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms, 1);
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::OpenIb));
+        let dsts: Vec<NodeId> = (0..4).map(|i| w.eth_node(i)).collect();
+        let report = NinjaOrchestrator::default()
+            .migrate(&mut w, &mut rt, &dsts)
+            .unwrap();
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::Tcp));
+        assert_eq!(report.transport_before.as_deref(), Some("openib"));
+        assert_eq!(report.transport_after.as_deref(), Some("tcp"));
+        assert!(report.btl_reconstructed);
+        assert_eq!(report.linkup.0, 0.0, "Ethernet destination: no link-up");
+        assert!(report.attach.0 == 0.0, "no HCAs to attach on Ethernet");
+        assert!(report.detach.0 > 5.0, "noisy IB detach");
+        assert!(report.migration.0 > 10.0, "real data moved");
+    }
+
+    /// Recovery: back to the IB cluster, IB rediscovered via the
+    /// continue_like_restart flag.
+    #[test]
+    fn recovery_migration_returns_to_ib() {
+        let mut w = World::agc(43);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms, 1);
+        let eth: Vec<NodeId> = (0..4).map(|i| w.eth_node(i)).collect();
+        let ib: Vec<NodeId> = (0..4).map(|i| w.ib_node(i)).collect();
+        let orch = NinjaOrchestrator::default();
+        orch.migrate(&mut w, &mut rt, &eth).unwrap();
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::Tcp));
+        let report = orch.migrate(&mut w, &mut rt, &ib).unwrap();
+        assert_eq!(
+            rt.uniform_network_kind(),
+            Some(TransportKind::OpenIb),
+            "recovery rebinds InfiniBand"
+        );
+        assert!(
+            report.linkup.0 > 25.0,
+            "paid the ~30 s link training: {}",
+            report.linkup
+        );
+        assert!(report.attach.0 > 1.0, "IB attach");
+    }
+
+    /// Without continue_like_restart, recovery stays stuck on TCP —
+    /// the exact failure mode the paper's flag exists to fix.
+    #[test]
+    fn recovery_without_flag_stays_on_tcp() {
+        let mut w = World::agc(44);
+        let vms = w.boot_ib_vms(4);
+        let cfg = ninja_mpi::MpiConfig {
+            continue_like_restart: false,
+            ..ninja_mpi::MpiConfig::default()
+        };
+        let mut rt = w.start_job_with(vms, 1, cfg);
+        let eth: Vec<NodeId> = (0..4).map(|i| w.eth_node(i)).collect();
+        let ib: Vec<NodeId> = (0..4).map(|i| w.ib_node(i)).collect();
+        let orch = NinjaOrchestrator::default();
+        orch.migrate(&mut w, &mut rt, &eth).unwrap();
+        let report = orch.migrate(&mut w, &mut rt, &ib).unwrap();
+        assert_eq!(
+            rt.uniform_network_kind(),
+            Some(TransportKind::Tcp),
+            "stuck on TCP"
+        );
+        assert!(!report.btl_reconstructed);
+        assert_eq!(
+            report.linkup.0, 0.0,
+            "no linkup wait without reconstruction"
+        );
+    }
+
+    /// Self-migration (Table II): IB -> IB on the same nodes.
+    #[test]
+    fn self_migration_ib_to_ib() {
+        let mut w = World::agc(45);
+        let vms = w.boot_ib_vms(8);
+        let mut rt = w.start_job(vms, 1);
+        let same: Vec<NodeId> = (0..8).map(|i| w.ib_node(i)).collect();
+        let report = NinjaOrchestrator::default()
+            .migrate(&mut w, &mut rt, &same)
+            .unwrap();
+        // Table II band: hotplug ~3.9 s (no migration noise), linkup ~30 s.
+        assert!(
+            (3.5..5.0).contains(&report.hotplug()),
+            "hotplug {}",
+            report.hotplug()
+        );
+        assert!(
+            (29.0..31.0).contains(&report.linkup.0),
+            "linkup {}",
+            report.linkup
+        );
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::OpenIb));
+    }
+
+    /// The job keeps running through migrations: ranks and runtime state
+    /// survive (claim C2 — no process restart).
+    #[test]
+    fn job_survives_roundtrip_without_restart() {
+        let mut w = World::agc(46);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms, 1);
+        let epoch0 = rt.epoch();
+        let ranks0 = rt.layout().total_ranks();
+        let eth: Vec<NodeId> = (0..4).map(|i| w.eth_node(i)).collect();
+        let ib: Vec<NodeId> = (0..4).map(|i| w.ib_node(i)).collect();
+        let orch = NinjaOrchestrator::default();
+        orch.migrate(&mut w, &mut rt, &eth).unwrap();
+        orch.migrate(&mut w, &mut rt, &ib).unwrap();
+        assert_eq!(
+            rt.layout().total_ranks(),
+            ranks0,
+            "same ranks, same processes"
+        );
+        assert!(
+            rt.epoch() > epoch0,
+            "connections re-established, not processes"
+        );
+        assert_eq!(rt.state(), ninja_mpi::RuntimeState::Active);
+        for vm in w.pool.iter() {
+            assert_eq!(vm.migrations, 2);
+        }
+    }
+
+    /// Consolidation: 4 VMs onto 2 Ethernet hosts.
+    #[test]
+    fn consolidation_overcommits() {
+        let mut w = World::agc(47);
+        let vms = w.boot_ib_vms(4);
+        let mut rt = w.start_job(vms, 8);
+        let two: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        NinjaOrchestrator::default()
+            .migrate(&mut w, &mut rt, &two)
+            .unwrap();
+        assert_eq!(w.dc.node(w.eth_node(0)).cpu_contention(), 2.0);
+        let env = w.comm_env();
+        // Iterations on the consolidated layout are slower than spread.
+        let packed = rt.bcast_time(ninja_mpi::Rank(0), ninja_sim::Bytes::from_gib(1), &env);
+        assert!(packed.as_secs_f64() > 3.0, "{packed}");
+    }
+
+    /// The generic layer: a non-MPI TCP service migrates too (the
+    /// paper's Section VII goal).
+    #[test]
+    fn non_mpi_service_migrates() {
+        use ninja_symvirt::SocketService;
+        let mut w = World::agc(49);
+        let vms = w.boot_eth_vms(2);
+        let mut svc = SocketService::new(vms, ninja_sim::SimDuration::from_millis(10));
+        svc.admit(4);
+        let dsts: Vec<NodeId> = (2..4).map(|i| w.eth_node(i)).collect();
+        let report = NinjaOrchestrator::default()
+            .migrate_app(&mut w, &mut svc, &dsts)
+            .unwrap();
+        assert_eq!(svc.inflight(), 0, "requests drained before blackout");
+        assert_eq!(report.transport_before.as_deref(), Some("tcp"));
+        assert!(!report.btl_reconstructed, "sockets survive live migration");
+        assert_eq!(report.linkup.0, 0.0);
+        assert!(
+            report.coordination.0 >= 0.04,
+            "drain time counted: {}",
+            report.coordination
+        );
+        for vm in w.pool.iter() {
+            assert_eq!(vm.migrations, 1);
+        }
+    }
+
+    #[test]
+    fn empty_hostlist_rejected() {
+        let mut w = World::agc(48);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms, 1);
+        let err = NinjaOrchestrator::default()
+            .migrate(&mut w, &mut rt, &[])
+            .unwrap_err();
+        assert!(matches!(err, SymVirtError::EmptyHostlist));
+    }
+}

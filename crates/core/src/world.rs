@@ -1,0 +1,246 @@
+//! Scenario world: the bundle of simulated state a scenario runs over.
+//!
+//! [`World`] owns the data center, the VM pool, the RNG, the trace, and
+//! the virtual clock, and provides the setup helpers every experiment
+//! starts from (boot VMs on a cluster, attach HCAs, wait for link
+//! training, start an MPI job).
+
+use ninja_cluster::{ClusterId, DataCenter, NodeId, StorageId};
+use ninja_mpi::{CommEnv, JobLayout, MpiConfig, MpiRuntime};
+use ninja_sim::{SimDuration, SimRng, SimTime, Trace};
+use ninja_vmm::{VmId, VmPool, VmSpec};
+
+/// All mutable simulation state for one scenario.
+#[derive(Debug)]
+pub struct World {
+    /// The physical data center.
+    pub dc: DataCenter,
+    /// All VMs.
+    pub pool: VmPool,
+    /// Scenario RNG (forked per subsystem as needed).
+    pub rng: SimRng,
+    /// Structured trace (phase markers feed the benchmark harness).
+    pub trace: Trace,
+    /// The virtual clock.
+    pub clock: SimTime,
+    /// The IB cluster id (AGC layout).
+    pub ib_cluster: ClusterId,
+    /// The Ethernet cluster id (AGC layout).
+    pub eth_cluster: ClusterId,
+}
+
+impl World {
+    /// Build the paper's AGC testbed with the given seed.
+    pub fn agc(seed: u64) -> Self {
+        let (dc, ib, eth) = DataCenter::agc();
+        World {
+            dc,
+            pool: VmPool::new(),
+            rng: SimRng::new(seed),
+            trace: Trace::new(),
+            clock: SimTime::ZERO,
+            ib_cluster: ib,
+            eth_cluster: eth,
+        }
+    }
+
+    /// Same, but with tracing disabled (for long property-test runs).
+    pub fn agc_untraced(seed: u64) -> Self {
+        let mut w = World::agc(seed);
+        w.trace = Trace::disabled();
+        w
+    }
+
+    /// Build a world over a custom data center. `primary` plays the role
+    /// of the "IB cluster" in the boot helpers and `secondary` the
+    /// "Ethernet cluster" — for Fig. 6's setup both may be InfiniBand.
+    pub fn from_parts(dc: DataCenter, primary: ClusterId, secondary: ClusterId, seed: u64) -> Self {
+        World {
+            dc,
+            pool: VmPool::new(),
+            rng: SimRng::new(seed),
+            trace: Trace::new(),
+            clock: SimTime::ZERO,
+            ib_cluster: primary,
+            eth_cluster: secondary,
+        }
+    }
+
+    /// Node `i` of an arbitrary cluster.
+    pub fn cluster_node(&self, cluster: ClusterId, i: usize) -> NodeId {
+        self.dc.cluster(cluster).nodes[i]
+    }
+
+    /// Advance the clock by `d`, never backwards.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Advance the clock to `t` if it is later than now.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// IB-cluster node `i`.
+    pub fn ib_node(&self, i: usize) -> NodeId {
+        let nodes = &self.dc.cluster(self.ib_cluster).nodes;
+        assert!(
+            i < nodes.len(),
+            "IB cluster has {} nodes, asked for {i}",
+            nodes.len()
+        );
+        nodes[i]
+    }
+
+    /// Ethernet-cluster node `i`.
+    pub fn eth_node(&self, i: usize) -> NodeId {
+        let nodes = &self.dc.cluster(self.eth_cluster).nodes;
+        assert!(
+            i < nodes.len(),
+            "secondary cluster has {} nodes, asked for {i}",
+            nodes.len()
+        );
+        nodes[i]
+    }
+
+    /// Boot `n` paper-shaped VMs on the IB cluster (one per node), pass
+    /// an HCA through to each, and advance the clock past link training
+    /// so the job can start on InfiniBand. Returns the VM ids.
+    pub fn boot_ib_vms(&mut self, n: usize) -> Vec<VmId> {
+        let mut vms = Vec::with_capacity(n);
+        let mut ready = self.clock;
+        for i in 0..n {
+            let node = self.ib_node(i);
+            let vm = self
+                .pool
+                .create(
+                    format!("vm{i}"),
+                    VmSpec::paper_vm(),
+                    node,
+                    StorageId(0),
+                    &mut self.dc,
+                )
+                .expect("AGC node holds one paper VM");
+            let (_, active_at) = self
+                .pool
+                .attach_ib_hca(vm, &mut self.dc, self.clock, &mut self.rng)
+                .expect("AGC IB node has a free HCA");
+            ready = ready.max(active_at);
+            vms.push(vm);
+        }
+        self.advance_to(ready);
+        self.trace.info(
+            self.clock,
+            "world",
+            "boot.ib",
+            format!("{n} VMs on InfiniBand, links trained"),
+        );
+        vms
+    }
+
+    /// Boot `n` paper-shaped VMs on the Ethernet cluster (one per node).
+    pub fn boot_eth_vms(&mut self, n: usize) -> Vec<VmId> {
+        let mut vms = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = self.eth_node(i);
+            let vm = self
+                .pool
+                .create(
+                    format!("vm{i}"),
+                    VmSpec::paper_vm(),
+                    node,
+                    StorageId(0),
+                    &mut self.dc,
+                )
+                .expect("AGC node holds one paper VM");
+            vms.push(vm);
+        }
+        self.trace.info(
+            self.clock,
+            "world",
+            "boot.eth",
+            format!("{n} VMs on Ethernet"),
+        );
+        vms
+    }
+
+    /// Start an MPI job over `vms` with `procs_per_vm` ranks each, using
+    /// the default (paper) runtime configuration.
+    pub fn start_job(&mut self, vms: Vec<VmId>, procs_per_vm: u32) -> MpiRuntime {
+        self.start_job_with(vms, procs_per_vm, MpiConfig::default())
+    }
+
+    /// Start an MPI job with an explicit runtime configuration.
+    pub fn start_job_with(
+        &mut self,
+        vms: Vec<VmId>,
+        procs_per_vm: u32,
+        config: MpiConfig,
+    ) -> MpiRuntime {
+        let layout = JobLayout::new(vms, procs_per_vm);
+        let mut rt = MpiRuntime::new(layout, config);
+        let report = rt
+            .init(&self.pool, &mut self.dc, self.clock)
+            .expect("connected cluster");
+        self.trace.info(
+            self.clock,
+            "mpi",
+            "job.start",
+            format!(
+                "{} ranks, transports {:?}",
+                rt.layout().total_ranks(),
+                report.by_kind
+            ),
+        );
+        rt
+    }
+
+    /// Snapshot the communication environment (CPU contention, NIC
+    /// sharing) for the current placement.
+    pub fn comm_env(&self) -> CommEnv {
+        CommEnv::from_world(&self.pool, &self.dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_net::TransportKind;
+
+    #[test]
+    fn boot_ib_vms_trains_links() {
+        let mut w = World::agc(1);
+        let vms = w.boot_ib_vms(4);
+        assert_eq!(vms.len(), 4);
+        // Clock advanced past the ~30 s training.
+        assert!(w.clock.as_secs_f64() > 29.0);
+        for &vm in &vms {
+            let t = w.pool.available_transports(vm, &w.dc, w.clock);
+            assert!(t.contains(&TransportKind::OpenIb));
+        }
+    }
+
+    #[test]
+    fn job_on_ib_uses_openib() {
+        let mut w = World::agc(2);
+        let vms = w.boot_ib_vms(4);
+        let rt = w.start_job(vms, 1);
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::OpenIb));
+    }
+
+    #[test]
+    fn job_on_eth_uses_tcp() {
+        let mut w = World::agc(3);
+        let vms = w.boot_eth_vms(4);
+        let rt = w.start_job(vms, 1);
+        assert_eq!(rt.uniform_network_kind(), Some(TransportKind::Tcp));
+    }
+
+    #[test]
+    fn clock_never_reverses() {
+        let mut w = World::agc(4);
+        w.advance(SimDuration::from_secs(10));
+        w.advance_to(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(w.clock.as_secs_f64(), 10.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests of the `ninja` CLI binary.
+
+use std::process::Command;
+
+fn ninja() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ninja"))
+}
+
+#[test]
+fn fallback_prints_report() {
+    let out = ninja().args(["fallback", "--vms", "2"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("openib -> tcp"));
+    assert!(stdout.contains("hotplug"));
+    assert!(stdout.contains("total"));
+}
+
+#[test]
+fn json_output_parses() {
+    let out = ninja()
+        .args(["fallback", "--vms", "2", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["vm_count"], 2);
+    assert_eq!(v["transport_after"], "tcp");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        ninja()
+            .args(["roundtrip", "--vms", "2", "--seed", "99", "--json"])
+            .output()
+            .unwrap()
+            .stdout
+    };
+    assert_eq!(run(), run(), "same seed, same bytes");
+}
+
+#[test]
+fn seeds_change_output() {
+    let run = |seed: &str| {
+        ninja()
+            .args(["fallback", "--vms", "2", "--seed", seed, "--json"])
+            .output()
+            .unwrap()
+            .stdout
+    };
+    assert_ne!(run("1"), run("2"));
+}
+
+#[test]
+fn checkpoint_roundtrip() {
+    let out = ninja()
+        .args(["checkpoint", "--vms", "2", "--footprint-gib", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checkpoint:"));
+    assert!(stdout.contains("restart:"));
+    assert!(stdout.contains("-> tcp"));
+}
+
+#[test]
+fn chrome_trace_written() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = ninja()
+        .args([
+            "selfmig",
+            "--vms",
+            "2",
+            "--chrome-trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let data = std::fs::read_to_string(&path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&data).expect("valid trace JSON");
+    assert!(v["traceEvents"].as_array().unwrap().len() > 5);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = ninja().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = ninja().args(["fallback", "--vms", "99"]).output().unwrap();
+    assert!(!out.status.success());
+}

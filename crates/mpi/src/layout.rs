@@ -1,0 +1,127 @@
+//! Rank-to-VM placement.
+//!
+//! The paper runs its benchmarks in two shapes: 1 MPI process per VM
+//! (memtest, Fig. 8a) and 8 processes per VM (NPB class D with 64 ranks
+//! over 8 VMs; Fig. 8b). [`JobLayout`] captures the mapping and answers
+//! the locality questions BTL selection needs.
+
+use ninja_vmm::VmId;
+use std::fmt;
+
+/// An MPI rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub u32);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// Placement of a job's ranks onto VMs: rank `r` runs in
+/// `vms[r / procs_per_vm]`, ranks are dense.
+#[derive(Debug, Clone)]
+pub struct JobLayout {
+    vms: Vec<VmId>,
+    procs_per_vm: u32,
+}
+
+impl JobLayout {
+    /// Build a layout with `procs_per_vm` ranks on each of the given VMs.
+    pub fn new(vms: Vec<VmId>, procs_per_vm: u32) -> Self {
+        assert!(!vms.is_empty(), "need at least one VM");
+        assert!(procs_per_vm > 0, "need at least one process per VM");
+        JobLayout { vms, procs_per_vm }
+    }
+
+    /// Returns the total ranks.
+    pub fn total_ranks(&self) -> u32 {
+        self.vms.len() as u32 * self.procs_per_vm
+    }
+
+    /// Returns the procs per vm.
+    pub fn procs_per_vm(&self) -> u32 {
+        self.procs_per_vm
+    }
+
+    /// Returns the vms.
+    pub fn vms(&self) -> &[VmId] {
+        &self.vms
+    }
+
+    /// The VM hosting a rank.
+    pub fn vm_of(&self, r: Rank) -> VmId {
+        assert!(r.0 < self.total_ranks(), "rank {r} out of range");
+        self.vms[(r.0 / self.procs_per_vm) as usize]
+    }
+
+    /// Are two ranks in the same VM?
+    pub fn co_located(&self, a: Rank, b: Rank) -> bool {
+        self.vm_of(a) == self.vm_of(b)
+    }
+
+    /// All ranks, in order.
+    pub fn ranks(&self) -> impl Iterator<Item = Rank> {
+        (0..self.total_ranks()).map(Rank)
+    }
+
+    /// All unordered cross-process pairs (i < j).
+    pub fn pairs(&self) -> impl Iterator<Item = (Rank, Rank)> + '_ {
+        let n = self.total_ranks();
+        (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (Rank(i), Rank(j))))
+    }
+
+    /// The first rank on each VM (the "leaders" used by hierarchical
+    /// collectives).
+    pub fn vm_leaders(&self) -> impl Iterator<Item = Rank> + '_ {
+        (0..self.vms.len() as u32).map(move |v| Rank(v * self.procs_per_vm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(i: u32) -> VmId {
+        VmId(i)
+    }
+
+    #[test]
+    fn one_proc_per_vm() {
+        let l = JobLayout::new(vec![vm(0), vm(1), vm(2), vm(3)], 1);
+        assert_eq!(l.total_ranks(), 4);
+        assert_eq!(l.vm_of(Rank(2)), vm(2));
+        assert!(!l.co_located(Rank(0), Rank(1)));
+    }
+
+    #[test]
+    fn eight_procs_per_vm() {
+        let l = JobLayout::new((0..8).map(vm).collect(), 8);
+        assert_eq!(l.total_ranks(), 64);
+        assert_eq!(l.vm_of(Rank(0)), vm(0));
+        assert_eq!(l.vm_of(Rank(7)), vm(0));
+        assert_eq!(l.vm_of(Rank(8)), vm(1));
+        assert!(l.co_located(Rank(0), Rank(7)));
+        assert!(!l.co_located(Rank(7), Rank(8)));
+    }
+
+    #[test]
+    fn pair_count() {
+        let l = JobLayout::new(vec![vm(0), vm(1)], 2);
+        assert_eq!(l.pairs().count(), 4 * 3 / 2);
+    }
+
+    #[test]
+    fn leaders() {
+        let l = JobLayout::new(vec![vm(0), vm(1)], 4);
+        let leaders: Vec<_> = l.vm_leaders().collect();
+        assert_eq!(leaders, vec![Rank(0), Rank(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank() {
+        let l = JobLayout::new(vec![vm(0)], 2);
+        l.vm_of(Rank(2));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the MPI runtime and executor.
+
+use ninja_cluster::{DataCenter, StorageId};
+use ninja_mpi::{
+    exclusivity, run_job, BtlRegistry, JobLayout, MpiConfig, MpiRuntime, Rank, RouteTable,
+};
+use ninja_net::TransportKind;
+use ninja_sim::{SimRng, SimTime};
+use ninja_vmm::{VmPool, VmSpec};
+use proptest::prelude::*;
+
+fn ib_world(vms_n: usize, procs: u32, seed: u64) -> (DataCenter, VmPool, MpiRuntime, SimTime) {
+    let (mut dc, ib, _) = DataCenter::agc();
+    let mut pool = VmPool::new();
+    let mut rng = SimRng::new(seed);
+    let mut vms = Vec::new();
+    let mut ready = SimTime::ZERO;
+    for i in 0..vms_n {
+        let vm = pool
+            .create(
+                format!("vm{i}"),
+                VmSpec::paper_vm(),
+                dc.cluster(ib).nodes[i],
+                StorageId(0),
+                &mut dc,
+            )
+            .unwrap();
+        let (_, at) = pool
+            .attach_ib_hca(vm, &mut dc, SimTime::ZERO, &mut rng)
+            .unwrap();
+        ready = ready.max(at);
+        vms.push(vm);
+    }
+    let mut rt = MpiRuntime::new(JobLayout::new(vms, procs), MpiConfig::default());
+    rt.init(&pool, &mut dc, ready).unwrap();
+    (dc, pool, rt, ready)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every release/continue cycle restores full connectivity, bumps
+    /// the epoch, and lands on the best reachable transport.
+    #[test]
+    fn reconstruct_cycles(vms in 2usize..6, procs in 1u32..4, cycles in 1usize..4, seed in any::<u64>()) {
+        let (mut dc, pool, mut rt, ready) = ib_world(vms, procs, seed);
+        let pairs = rt.layout().pairs().count();
+        for _ in 0..cycles {
+            let epoch = rt.epoch();
+            rt.release_network(&mut dc, &pool).unwrap();
+            rt.continue_after(&pool, &mut dc, ready).unwrap();
+            prop_assert_eq!(rt.epoch(), epoch + 1);
+            let census: usize = rt.kind_census().values().sum();
+            prop_assert_eq!(census, pairs, "fully connected after rebuild");
+            prop_assert_eq!(rt.uniform_network_kind(), Some(TransportKind::OpenIb));
+        }
+    }
+
+    /// The exclusivity ranking is total and strict across the stock
+    /// components, so selection has a unique winner for every pair.
+    #[test]
+    fn exclusivity_ranking_strict(_x in any::<bool>()) {
+        let kinds = [
+            TransportKind::Tcp,
+            TransportKind::OpenIb,
+            TransportKind::SharedMemory,
+            TransportKind::SelfLoop,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                prop_assert_ne!(exclusivity(*a), exclusivity(*b));
+            }
+        }
+    }
+
+    /// Restricting the registry never yields a transport outside the
+    /// restriction.
+    #[test]
+    fn restriction_respected(vms in 2usize..6, seed in any::<u64>()) {
+        let (mut dc, pool, _, ready) = ib_world(vms, 1, seed);
+        let cfg = MpiConfig {
+            registry: BtlRegistry::restricted(&[
+                TransportKind::Tcp,
+                TransportKind::SharedMemory,
+                TransportKind::SelfLoop,
+            ]),
+            ..MpiConfig::default()
+        };
+        let layout = JobLayout::new(pool.ids().collect(), 1);
+        let mut rt = MpiRuntime::new(layout, cfg);
+        rt.init(&pool, &mut dc, ready).unwrap();
+        for (kind, n) in rt.kind_census() {
+            prop_assert!(kind != TransportKind::OpenIb || n == 0);
+        }
+    }
+
+    /// Executor allreduce computes the exact sum for any rank count and
+    /// payload, on any uniform transport.
+    #[test]
+    fn executor_allreduce_exact(
+        n in 1u32..12,
+        len in 1usize..64,
+        tcp in any::<bool>(),
+    ) {
+        let kind = if tcp { TransportKind::Tcp } else { TransportKind::OpenIb };
+        let routes = RouteTable::uniform(n, kind);
+        let (results, _) = run_job(n, routes, move |comm| {
+            let mine: Vec<f64> = (0..len).map(|i| (comm.rank() as usize + i) as f64).collect();
+            comm.allreduce_sum(mine, 3)
+        });
+        // Expected element i: sum over ranks r of (r + i).
+        let rank_sum: f64 = (0..n).map(|r| r as f64).sum();
+        for r in &results {
+            prop_assert_eq!(r.len(), len);
+            for (i, v) in r.iter().enumerate() {
+                let expect = rank_sum + (n as usize * i) as f64;
+                prop_assert!((v - expect).abs() < 1e-9, "elem {i}: {v} vs {expect}");
+            }
+        }
+    }
+
+    /// Executor bcast delivers the root's exact payload for any root.
+    #[test]
+    fn executor_bcast_any_root(n in 1u32..12, root_pick in any::<u32>(), len in 1usize..64) {
+        let root = root_pick % n;
+        let routes = RouteTable::uniform(n, TransportKind::SharedMemory);
+        let (results, _) = run_job(n, routes, move |comm| {
+            let data = if comm.rank() == root {
+                (0..len).map(|i| i as f64 * 1.5).collect()
+            } else {
+                vec![]
+            };
+            comm.bcast(root, data, 4)
+        });
+        let expect: Vec<f64> = (0..len).map(|i| i as f64 * 1.5).collect();
+        for r in results {
+            prop_assert_eq!(r, expect.clone());
+        }
+    }
+
+    /// Traffic accounting conserves messages for any send/deliver
+    /// interleaving.
+    #[test]
+    fn conservation_any_interleaving(events in prop::collection::vec((any::<bool>(), 0u64..1000), 1..100)) {
+        let (mut dc, pool, mut rt, ready) = ib_world(2, 1, 1);
+        let _ = &mut dc;
+        let _ = &pool;
+        for &(send, t) in &events {
+            let at = ready + ninja_sim::SimDuration::from_millis(t);
+            if send {
+                rt.record_send(Rank(0), Rank(1), ninja_sim::Bytes::from_kib(4), at);
+            } else {
+                rt.deliver_due(at);
+            }
+            prop_assert!(rt.conservation_holds());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Calibration constants for the interconnect models.
+//!
+//! Values are taken from the paper's experimental section (AGC cluster:
+//! QDR InfiniBand ConnectX HCAs, Broadcom 10 GbE NICs, virtio-net in VMs)
+//! and from the measured overheads in Table II and Section V. Where the
+//! paper reports a range or implies a value, the derivation is noted.
+
+use ninja_sim::{Bandwidth, SimDuration};
+
+/// Calibrated parameters for one transport technology.
+#[derive(Debug, Clone)]
+pub struct TransportCalib {
+    /// One-way small-message latency (MPI level).
+    pub latency: SimDuration,
+    /// Effective large-message bandwidth at MPI level.
+    pub bandwidth: Bandwidth,
+    /// Host-CPU seconds consumed per byte moved (drives the CPU-contention
+    /// effect in Fig. 8's "2 hosts (TCP)" configuration; ~0 for VMM-bypass
+    /// RDMA which offloads to the HCA).
+    pub cpu_sec_per_byte: f64,
+    /// Per-message host-CPU cost (protocol processing).
+    pub cpu_sec_per_msg: f64,
+    /// Time from device visible to link usable.
+    pub linkup_mean: SimDuration,
+    /// Multiplicative jitter amplitude applied to `linkup_mean`.
+    pub linkup_jitter: f64,
+}
+
+/// QDR InfiniBand via VMM-bypass (PCI passthrough), as on the paper's
+/// Infiniband cluster.
+///
+/// * latency ~2 us: typical verbs RDMA write + MPI overhead on ConnectX QDR.
+/// * bandwidth 24 Gbit/s effective: QDR signals at 40 Gbit/s, 32 Gbit/s
+///   after 8b/10b; ~3 GB/s is what Open MPI 1.6 achieved on these HCAs.
+/// * link-up ~29.8 s: Table II reports 29.91 s and 29.79 s; the paper
+///   observes the port stays in "polling" for about 30 seconds.
+pub fn infiniband_qdr() -> TransportCalib {
+    TransportCalib {
+        latency: SimDuration::from_micros(2),
+        bandwidth: Bandwidth::from_gbps(24.0),
+        cpu_sec_per_byte: 0.0,   // RDMA: the HCA moves the data
+        cpu_sec_per_msg: 0.2e-6, // doorbell + completion handling
+        linkup_mean: SimDuration::from_millis(29_800),
+        linkup_jitter: 0.004, // +-0.12 s reproduces 29.79..29.91
+    }
+}
+
+/// TCP/IP over the para-virtualized virtio-net device on the 10 GbE
+/// cluster (the fallback transport).
+///
+/// * latency ~55 us: TCP through virtio + vhost on 2012-era hosts.
+/// * bandwidth 4.6 Gbit/s effective: virtio-net of that era did not reach
+///   line rate; MPI over TCP on it measured roughly half of 10 GbE.
+/// * per-byte CPU cost ~1.6 core-seconds per GB: TCP copies + checksums
+///   through virtio make the transfer essentially CPU-bound (which is
+///   *why* virtio-era TCP could not reach line rate); under 2:1 vCPU
+///   over-commit the CPU term doubles and gates throughput, reproducing
+///   the "2 hosts (TCP)" slowdown in Fig. 8.
+/// * link-up 0: Table II reports 0.00 for the Ethernet destination; a
+///   virtio NIC is usable as soon as the guest driver binds.
+pub fn tcp_virtio_10gbe() -> TransportCalib {
+    TransportCalib {
+        latency: SimDuration::from_micros(55),
+        bandwidth: Bandwidth::from_gbps(4.6),
+        cpu_sec_per_byte: 1.6e-9,
+        cpu_sec_per_msg: 5.0e-6,
+        linkup_mean: SimDuration::ZERO,
+        linkup_jitter: 0.0,
+    }
+}
+
+/// TCP/IP over IPoIB on the InfiniBand fabric (used when an IB device is
+/// present but the MPI layer is forced onto TCP; also carries migration
+/// traffic on the IB cluster).
+pub fn tcp_ipoib() -> TransportCalib {
+    TransportCalib {
+        latency: SimDuration::from_micros(40),
+        bandwidth: Bandwidth::from_gbps(7.5),
+        cpu_sec_per_byte: 1.0e-9,
+        cpu_sec_per_msg: 5.0e-6,
+        linkup_mean: SimDuration::from_millis(29_800),
+        linkup_jitter: 0.004,
+    }
+}
+
+/// Intra-VM shared-memory transport (Open MPI `sm` BTL) for ranks that are
+/// co-located in one VM (the 8-processes-per-VM runs in Fig. 8).
+pub fn shared_memory() -> TransportCalib {
+    TransportCalib {
+        latency: SimDuration::from_nanos(600),
+        bandwidth: Bandwidth::from_gbps(60.0),
+        cpu_sec_per_byte: 0.15e-9, // memcpy cost
+        cpu_sec_per_msg: 0.3e-6,
+        linkup_mean: SimDuration::ZERO,
+        linkup_jitter: 0.0,
+    }
+}
+
+/// Raw link rate of the physical 10 GbE NIC (migration traffic path).
+pub fn raw_10gbe() -> Bandwidth {
+    Bandwidth::from_gbps(10.0)
+}
+
+/// Raw effective link rate of QDR InfiniBand.
+pub fn raw_ib_qdr() -> Bandwidth {
+    Bandwidth::from_gbps(32.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ib_is_faster_than_tcp_in_both_dimensions() {
+        let ib = infiniband_qdr();
+        let tcp = tcp_virtio_10gbe();
+        assert!(ib.latency < tcp.latency);
+        assert!(ib.bandwidth.as_gbps() > tcp.bandwidth.as_gbps());
+        assert!(ib.cpu_sec_per_byte < tcp.cpu_sec_per_byte);
+    }
+
+    #[test]
+    fn ib_linkup_matches_table2_band() {
+        let ib = infiniband_qdr();
+        let lo = ib.linkup_mean.as_secs_f64() * (1.0 - ib.linkup_jitter);
+        let hi = ib.linkup_mean.as_secs_f64() * (1.0 + ib.linkup_jitter);
+        // Table II observed 29.79 and 29.91 seconds.
+        assert!(lo <= 29.79 && 29.91 <= hi, "band [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn eth_linkup_is_zero() {
+        assert!(tcp_virtio_10gbe().linkup_mean.is_zero());
+    }
+
+    #[test]
+    fn sm_fastest_latency() {
+        assert!(shared_memory().latency < infiniband_qdr().latency);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ninja-net — interconnect models
+//!
+//! Models of the two interconnect worlds the paper migrates between:
+//!
+//! * [`ib`] — InfiniBand: fabric-assigned LIDs/QPNs (which change on
+//!   re-attach), pinned memory regions, queue pairs, and the ~30 s port
+//!   training the paper measures as "link-up time";
+//! * [`eth`] — Ethernet / virtio-net with instantaneous link-up;
+//! * [`link`] — the port link-state machine and a serializing
+//!   shared-link contention model;
+//! * [`transport`] — LogGP-style message-cost models (latency, bandwidth,
+//!   per-byte CPU cost) used by the MPI byte-transfer layer, including the
+//!   CPU-contention behaviour that separates TCP from RDMA under
+//!   consolidation;
+//! * [`calib`] — the calibration constants, with derivations from the
+//!   paper's Table II and Sections IV-V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod eth;
+pub mod ib;
+pub mod link;
+pub mod switch;
+pub mod transport;
+
+pub use calib::TransportCalib;
+pub use eth::{EthKind, EthNic};
+pub use ib::{IbError, IbFabric, IbHca, Lid, MrKey, QpNum, QueuePair};
+pub use link::{LinkFsm, LinkState, Reservation, SharedLink};
+pub use switch::Switch;
+pub use transport::{models, CostModel, MessageCost, TransportKind};

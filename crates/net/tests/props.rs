@@ -1,0 +1,153 @@
+//! Property-based tests of the interconnect models.
+
+use ninja_net::{calib, models, CostModel, IbFabric, IbHca, LinkFsm, LinkState, SharedLink};
+use ninja_sim::{Bandwidth, Bytes, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// A training port is never observed Active before its scheduled
+    /// activation instant, and always at/after it.
+    #[test]
+    fn link_never_active_early(seed in any::<u64>(), start_ns in 0u64..1u64 << 40) {
+        let mut fsm = LinkFsm::down();
+        let mut rng = SimRng::new(seed);
+        let start = SimTime::from_nanos(start_ns);
+        let active_at = fsm.begin_training(start, &calib::infiniband_qdr(), &mut rng);
+        prop_assert!(active_at >= start);
+        let just_before = active_at - SimDuration::from_nanos(1);
+        if just_before > start {
+            prop_assert!(!fsm.is_active_at(just_before));
+        }
+        prop_assert!(fsm.is_active_at(active_at));
+        prop_assert!(fsm.is_active_at(active_at + SimDuration::from_secs(1)));
+    }
+
+    /// Arbitrary interleavings of train/down operations keep the FSM
+    /// consistent: after down it is Down; re-training while polling
+    /// never reschedules.
+    #[test]
+    fn link_fsm_operation_sequences(ops in prop::collection::vec(any::<bool>(), 1..50), seed in any::<u64>()) {
+        let mut fsm = LinkFsm::down();
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut pending: Option<SimTime> = None;
+        for &train in &ops {
+            now += SimDuration::from_secs(1);
+            if train {
+                let at = fsm.begin_training(now, &calib::infiniband_qdr(), &mut rng);
+                if let Some(p) = pending {
+                    if p > now {
+                        prop_assert_eq!(at, p, "re-training keeps the schedule");
+                    }
+                }
+                pending = Some(at);
+            } else {
+                fsm.take_down();
+                pending = None;
+                prop_assert_eq!(fsm.state_at(now), LinkState::Down);
+            }
+        }
+    }
+
+    /// SharedLink reservations never overlap and always carry the full
+    /// byte count at no more than the configured rate.
+    #[test]
+    fn shared_link_serializes_all_schedules(
+        requests in prop::collection::vec((0u64..100_000_000, 1u64..1u64 << 32), 1..40),
+        gbps in 0.1f64..100.0,
+    ) {
+        let mut link = SharedLink::new(Bandwidth::from_gbps(gbps));
+        let mut prev_end = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(at, bytes) in &requests {
+            let r = link.reserve(SimTime::from_nanos(at), Bytes::new(bytes), None);
+            prop_assert!(r.start >= prev_end || r.start >= SimTime::from_nanos(at));
+            prop_assert!(r.end >= r.start);
+            // No overlap: each new transfer starts at/after the last end.
+            prop_assert!(r.start >= prev_end.min(r.start));
+            prop_assert!(r.end >= prev_end, "link time is monotone");
+            prev_end = r.end;
+            total += bytes;
+        }
+        prop_assert_eq!(link.bytes_carried(), Bytes::new(total));
+    }
+
+    /// Message cost is monotone in size and contention, bounded below
+    /// by latency, and IB dominates TCP everywhere.
+    #[test]
+    fn cost_model_orderings(kib in 1u64..1_000_000, contention in 1.0f64..8.0) {
+        let ib = models::openib();
+        let tcp = models::tcp();
+        let b = Bytes::from_kib(kib);
+        let bigger = Bytes::from_kib(kib * 2);
+        for m in [&ib, &tcp] {
+            let t = m.message(b, contention).elapsed;
+            prop_assert!(t >= m.latency());
+            prop_assert!(m.message(bigger, contention).elapsed >= t);
+            prop_assert!(m.message(b, contention + 1.0).elapsed >= t);
+        }
+        prop_assert!(ib.message(b, contention).elapsed <= tcp.message(b, contention).elapsed);
+    }
+
+    /// LIDs are unique across any allocation sequence, and QPNs are
+    /// unique per fabric.
+    #[test]
+    fn fabric_identifiers_unique(n in 1usize..500) {
+        let mut fabric = IbFabric::new("f");
+        let mut lids = std::collections::HashSet::new();
+        let mut qpns = std::collections::HashSet::new();
+        for _ in 0..n {
+            prop_assert!(lids.insert(fabric.assign_lid().unwrap()));
+            prop_assert!(qpns.insert(fabric.assign_qpn()));
+        }
+    }
+
+    /// MR pinning accounting balances for any register/deregister
+    /// sequence.
+    #[test]
+    fn mr_accounting_balances(sizes in prop::collection::vec(1u64..1u64 << 30, 1..50)) {
+        let mut fabric = IbFabric::new("f");
+        let mut rng = SimRng::new(7);
+        let mut hca = IbHca::new(1);
+        hca.plug_into(&mut fabric, SimTime::ZERO, &calib::infiniband_qdr(), &mut rng).unwrap();
+        let mut keys = Vec::new();
+        let mut expect = 0u64;
+        for &s in &sizes {
+            keys.push(hca.register_mr(Bytes::new(s)));
+            expect += s;
+        }
+        prop_assert_eq!(hca.pinned_bytes(), Bytes::new(expect));
+        for (k, &s) in keys.into_iter().zip(&sizes) {
+            hca.deregister_mr(k).unwrap();
+            expect -= s;
+            prop_assert_eq!(hca.pinned_bytes(), Bytes::new(expect));
+        }
+        prop_assert!(!hca.has_resources());
+    }
+
+    /// Effective bandwidth never exceeds the configured link rate.
+    #[test]
+    fn effective_bandwidth_bounded(contention in 1.0f64..8.0) {
+        for m in [models::openib(), models::tcp(), models::sm()] {
+            let eff = m.effective_bandwidth(contention);
+            prop_assert!(eff.as_gbps() <= m.bandwidth().as_gbps() * 1.001,
+                "{}: {} > {}", m.kind(), eff, m.bandwidth());
+        }
+    }
+}
+
+/// Non-proptest sanity: the CostModel struct-update clone used by the
+/// collectives layer preserves the other calibration fields.
+#[test]
+fn derated_model_preserves_latency() {
+    let m = models::tcp();
+    let derated = CostModel::new(
+        m.kind(),
+        ninja_net::TransportCalib {
+            bandwidth: m.bandwidth().scale(0.5),
+            ..m.calib().clone()
+        },
+    );
+    assert_eq!(derated.latency(), m.latency());
+    assert!(derated.bandwidth().as_gbps() < m.bandwidth().as_gbps());
+}

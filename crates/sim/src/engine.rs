@@ -1,0 +1,536 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns a time-ordered queue of events. An *event* is a boxed
+//! `FnOnce(&mut W, &mut Ctx<W>)` closure over a user-supplied world type
+//! `W`; running an event may mutate the world and schedule (or cancel)
+//! further events through the [`Ctx`] handle. Two events at the same
+//! timestamp run in FIFO scheduling order, so the whole simulation is a
+//! deterministic function of (initial world, scheduled events, RNG seeds).
+//!
+//! ```
+//! use ninja_sim::{Engine, SimDuration};
+//!
+//! let mut engine: Engine<Vec<u64>> = Engine::new();
+//! let mut world = Vec::new();
+//! engine.schedule_in(SimDuration::from_secs(1), |w: &mut Vec<u64>, ctx| {
+//!     w.push(ctx.now().as_nanos());
+//!     ctx.schedule_in(SimDuration::from_secs(2), |w: &mut Vec<u64>, ctx| {
+//!         w.push(ctx.now().as_nanos());
+//!     });
+//! });
+//! engine.run_until_idle(&mut world);
+//! assert_eq!(world, vec![1_000_000_000, 3_000_000_000]);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// The boxed event closure type.
+pub type Action<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+
+struct HeapEntry<W> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for HeapEntry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for HeapEntry<W> {}
+impl<W> PartialOrd for HeapEntry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for HeapEntry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle passed to running events for scheduling follow-up work.
+pub struct Ctx<'e, W> {
+    now: SimTime,
+    next_id: &'e mut u64,
+    pending: Vec<(SimTime, EventId, Action<W>)>,
+    cancels: Vec<EventId>,
+    stop: bool,
+}
+
+impl<W> Ctx<'_, W> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `action` to run `delay` from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedule `action` at an absolute time. Times in the past are clamped
+    /// to "now" (the event runs after the current one, same timestamp).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(*self.next_id);
+        *self.next_id += 1;
+        self.pending.push((at, id, Box::new(action)));
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-run or
+    /// unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancels.push(id);
+    }
+
+    /// Stop the engine after the current event completes, leaving any
+    /// remaining events in the queue.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Outcome of a call to one of the `run_*` methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Idle,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+    /// An event called [`Ctx::stop`].
+    Stopped,
+    /// The event budget was exhausted (runaway-loop guard).
+    BudgetExhausted,
+}
+
+/// A deterministic discrete-event engine over a world type `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    next_seq: u64,
+    next_id: u64,
+    queue: BinaryHeap<HeapEntry<W>>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+    stop_requested: bool,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Create an empty engine at t = 0.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last executed event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute time (clamped to now).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(HeapEntry {
+            time: at,
+            seq,
+            id,
+            action: Box::new(action),
+        });
+        id
+    }
+
+    /// Schedule an event `delay` from the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Ctx<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancel a scheduled event by id.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Schedule `action` to run every `period`, starting one period from
+    /// now, until it returns `false` (or is cancelled via the returned
+    /// id, which cancels only the next pending occurrence).
+    pub fn schedule_every(
+        &mut self,
+        period: SimDuration,
+        action: impl FnMut(&mut W, &mut Ctx<W>) -> bool + 'static,
+    ) -> EventId {
+        assert!(
+            !period.is_zero(),
+            "a zero period would loop forever at one instant"
+        );
+        fn tick<W>(
+            mut f: impl FnMut(&mut W, &mut Ctx<W>) -> bool + 'static,
+            period: SimDuration,
+        ) -> impl FnOnce(&mut W, &mut Ctx<W>) + 'static {
+            move |w, ctx| {
+                if f(w, ctx) {
+                    ctx.schedule_in(period, tick(f, period));
+                }
+            }
+        }
+        self.schedule_in(period, tick(action, period))
+    }
+
+    /// Execute the single next event, if any. Returns `false` when the
+    /// queue is empty. Cancelled events are skipped transparently.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(entry) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&entry.id) {
+                continue; // tombstone
+            }
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.executed += 1;
+            let mut ctx = Ctx {
+                now: self.now,
+                next_id: &mut self.next_id,
+                pending: Vec::new(),
+                cancels: Vec::new(),
+                stop: false,
+            };
+            (entry.action)(world, &mut ctx);
+            let Ctx {
+                pending,
+                cancels,
+                stop,
+                ..
+            } = ctx;
+            for (at, id, action) in pending {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.queue.push(HeapEntry {
+                    time: at,
+                    seq,
+                    id,
+                    action,
+                });
+            }
+            for id in cancels {
+                self.cancelled.insert(id);
+            }
+            if stop {
+                self.stop_requested = true;
+            }
+            return true;
+        }
+    }
+
+    /// Run until the queue is empty.
+    pub fn run_until_idle(&mut self, world: &mut W) -> RunOutcome {
+        self.run_inner(world, SimTime::MAX, u64::MAX)
+    }
+
+    /// Run until `horizon` (inclusive): every event with `time <= horizon`
+    /// executes; later events stay queued and `now` advances to `horizon`
+    /// if the horizon was reached.
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome {
+        let outcome = self.run_inner(world, horizon, u64::MAX);
+        if outcome == RunOutcome::Horizon || (outcome == RunOutcome::Idle && self.now < horizon) {
+            self.now = horizon.max(self.now);
+        }
+        outcome
+    }
+
+    /// Run with an event budget; returns `BudgetExhausted` if it is hit.
+    /// Useful as a runaway guard in property tests.
+    pub fn run_with_budget(&mut self, world: &mut W, max_events: u64) -> RunOutcome {
+        self.run_inner(world, SimTime::MAX, max_events)
+    }
+
+    fn run_inner(&mut self, world: &mut W, horizon: SimTime, max_events: u64) -> RunOutcome {
+        let mut budget = max_events;
+        self.stop_requested = false;
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Idle,
+                Some(entry) if entry.time > horizon => return RunOutcome::Horizon,
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            budget -= 1;
+            if !self.step(world) {
+                return RunOutcome::Idle;
+            }
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+impl<W> Engine<W> {
+    /// Whether the last executed event requested a stop.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type World = Vec<(u64, &'static str)>;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        e.schedule_in(SimDuration::from_secs(3), |w: &mut World, c| {
+            w.push((c.now().as_nanos(), "c"))
+        });
+        e.schedule_in(SimDuration::from_secs(1), |w: &mut World, c| {
+            w.push((c.now().as_nanos(), "a"))
+        });
+        e.schedule_in(SimDuration::from_secs(2), |w: &mut World, c| {
+            w.push((c.now().as_nanos(), "b"))
+        });
+        assert_eq!(e.run_until_idle(&mut w), RunOutcome::Idle);
+        let labels: Vec<_> = w.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        for label in ["first", "second", "third"] {
+            e.schedule_in(SimDuration::from_secs(1), move |w: &mut World, c| {
+                w.push((c.now().as_nanos(), label))
+            });
+        }
+        e.run_until_idle(&mut w);
+        let labels: Vec<_> = w.iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        e.schedule_in(SimDuration::from_secs(1), |_w: &mut World, c| {
+            c.schedule_in(SimDuration::from_secs(1), |w: &mut World, c| {
+                w.push((c.now().as_nanos(), "inner"));
+            });
+        });
+        e.run_until_idle(&mut w);
+        assert_eq!(w, vec![(2_000_000_000, "inner")]);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        let id = e.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| {
+            w.push((0, "cancelled"))
+        });
+        e.schedule_in(SimDuration::from_secs(1), move |_: &mut World, c| {
+            c.cancel(id);
+        });
+        e.run_until_idle(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_before_run() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        let id = e.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| {
+            w.push((0, "x"))
+        });
+        e.cancel(id);
+        e.run_until_idle(&mut w);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn run_until_horizon_leaves_future_events() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        e.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| {
+            w.push((0, "early"))
+        });
+        e.schedule_in(SimDuration::from_secs(10), |w: &mut World, _| {
+            w.push((0, "late"))
+        });
+        let out = e.run_until(&mut w, SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(out, RunOutcome::Horizon);
+        assert_eq!(w.len(), 1);
+        assert_eq!(e.now(), SimTime::ZERO + SimDuration::from_secs(5));
+        // resume
+        e.run_until_idle(&mut w);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        e.schedule_in(SimDuration::from_secs(1), |_: &mut World, c| c.stop());
+        e.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| {
+            w.push((0, "after-stop"))
+        });
+        assert_eq!(e.run_until_idle(&mut w), RunOutcome::Stopped);
+        assert!(w.is_empty());
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn past_times_clamp_to_now() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        e.schedule_in(SimDuration::from_secs(5), |_: &mut World, c| {
+            // schedule "2 seconds ago" -> runs now, after this event
+            c.schedule_at(SimTime::from_nanos(3_000_000_000), |w: &mut World, c| {
+                w.push((c.now().as_nanos(), "clamped"));
+            });
+        });
+        e.run_until_idle(&mut w);
+        assert_eq!(w, vec![(5_000_000_000, "clamped")]);
+    }
+
+    #[test]
+    fn budget_guard() {
+        // A self-perpetuating event chain is cut off by the budget.
+        let mut e: Engine<u64> = Engine::new();
+        let mut w: u64 = 0;
+        fn tick(w: &mut u64, c: &mut Ctx<u64>) {
+            *w += 1;
+            c.schedule_in(SimDuration::from_nanos(1), tick);
+        }
+        e.schedule_in(SimDuration::ZERO, tick);
+        assert_eq!(e.run_with_budget(&mut w, 1000), RunOutcome::BudgetExhausted);
+        assert_eq!(w, 1000);
+    }
+
+    #[test]
+    fn large_volume_is_ordered() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut w = Vec::new();
+        let mut rng = crate::rng::SimRng::new(99);
+        for _ in 0..50_000 {
+            let t = rng.below(1_000_000);
+            e.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, c| {
+                w.push(c.now().as_nanos());
+            });
+        }
+        e.run_until_idle(&mut w);
+        assert_eq!(w.len(), 50_000);
+        assert!(
+            w.windows(2).all(|p| p[0] <= p[1]),
+            "timestamps nondecreasing"
+        );
+    }
+
+    #[test]
+    fn periodic_runs_until_false() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut w: Vec<u64> = Vec::new();
+        e.schedule_every(SimDuration::from_secs(10), |w: &mut Vec<u64>, c| {
+            w.push(c.now().as_nanos() / 1_000_000_000);
+            w.len() < 4
+        });
+        e.run_until_idle(&mut w);
+        assert_eq!(w, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn periodic_interleaves_with_one_shots() {
+        let mut e: Engine<Vec<&'static str>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_every(SimDuration::from_secs(2), |w: &mut Vec<&str>, _| {
+            w.push("tick");
+            w.iter().filter(|s| **s == "tick").count() < 3
+        });
+        e.schedule_in(SimDuration::from_secs(3), |w: &mut Vec<&str>, _| {
+            w.push("once")
+        });
+        e.run_until_idle(&mut w);
+        assert_eq!(w, vec!["tick", "once", "tick", "tick"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn periodic_rejects_zero_period() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_every(SimDuration::ZERO, |_, _| true);
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut e: Engine<World> = Engine::new();
+        let mut w = World::new();
+        for _ in 0..10 {
+            e.schedule_in(SimDuration::from_secs(1), |_: &mut World, _| {});
+        }
+        e.run_until_idle(&mut w);
+        assert_eq!(e.events_executed(), 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ninja-sim — deterministic discrete-event simulation kernel
+//!
+//! Foundation of the Ninja Migration reproduction. Provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time;
+//! * [`Engine`] — a deterministic discrete-event engine over a user world
+//!   type, with FIFO tie-breaking, cancellation, horizons and budgets;
+//! * [`SimRng`] — a platform-stable seeded RNG with forkable streams;
+//! * [`Bytes`] / [`Bandwidth`] — data-size and rate units with explicit
+//!   bits-vs-bytes semantics;
+//! * [`Summary`], [`DurationSamples`], [`TimeSeries`], [`Histogram`] —
+//!   measurement collectors implementing the paper's "best of three"
+//!   methodology;
+//! * [`Trace`] — structured phase/event tracing that the benchmark harness
+//!   uses to compute overhead breakdowns.
+//!
+//! Everything in the upper crates (`ninja-net`, `ninja-cluster`,
+//! `ninja-vmm`, `ninja-mpi`, `ninja-symvirt`, `ninja-migration`) is built
+//! on these primitives, and the whole stack is bit-for-bit reproducible
+//! given a scenario seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use engine::{Action, Ctx, Engine, EventId, RunOutcome};
+pub use rng::SimRng;
+pub use stats::{DurationSamples, Histogram, Summary, TimeSeries};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceLevel, TraceRecord};
+pub use units::{Bandwidth, Bytes};

@@ -1,0 +1,242 @@
+//! Deterministic random number generation for the simulator.
+//!
+//! All stochastic elements of the simulation (hotplug jitter, link-training
+//! variance, dirty-page sampling) draw from a [`SimRng`], a small
+//! splitmix64/xoshiro256** generator seeded explicitly by the scenario.
+//! Keeping the generator in-crate (rather than depending on `rand`'s
+//! unspecified algorithms) guarantees results are reproducible across
+//! library versions and platforms, which the regression tests depend on.
+
+/// xoshiro256** seeded via splitmix64. Deterministic and platform-stable.
+///
+/// ```
+/// use ninja_sim::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let mut child = a.fork(1);              // independent substream
+/// assert!((0.0..1.0).contains(&child.uniform()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent child stream. Used to give each simulated
+    /// component its own generator so adding draws in one component does
+    /// not perturb another (a common source of accidental nondeterminism).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Requires `lo <= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's method. `n` must be > 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Rejection-free for our purposes: modulo bias is < 2^-53 relative
+        // for the small n we use, but use widening multiply anyway.
+        let m = (self.next_u64() as u128).wrapping_mul(n as u128);
+        (m >> 64) as u64
+    }
+
+    /// Standard normal via Box-Muller (one value per call; we do not cache
+    /// the second value to keep `fork` semantics simple).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid u1 == 0 which would give ln(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential with the given mean (> 0).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// A multiplicative jitter factor in `[1 - amplitude, 1 + amplitude]`.
+    /// Used to perturb calibrated latency constants the way repeated runs
+    /// on real hardware would.
+    pub fn jitter(&mut self, amplitude: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&amplitude));
+        1.0 + self.uniform_range(-amplitude, amplitude)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(7);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let a: Vec<u64> = (0..32).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..32).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers() {
+        let mut r = SimRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = r.below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(17);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::new(19);
+        for _ in 0..10_000 {
+            let j = r.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, (0..64).collect::<Vec<_>>(), "nontrivial shuffle");
+    }
+}

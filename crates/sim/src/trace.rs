@@ -1,0 +1,359 @@
+//! Structured event tracing.
+//!
+//! Components append [`TraceRecord`]s to a shared [`Trace`] as the
+//! simulation runs. The benchmark regenerators use phase markers (e.g.
+//! `hotplug.detach.start` / `.end`) to compute the paper's overhead
+//! breakdowns, and the test suite asserts on causal ordering of records.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Severity/kind of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLevel {
+    /// Phase boundary markers used for overhead accounting.
+    Phase,
+    /// Normal operational records.
+    Info,
+    /// Unexpected but tolerated conditions.
+    Warn,
+    /// Hard failures (also surfaced as `Err` to callers).
+    Error,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Phase => "PHASE",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+            TraceLevel::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// The at.
+    pub at: SimTime,
+    /// The level.
+    pub level: TraceLevel,
+    /// Dotted component path, e.g. `vmm.migration` or `mpi.btl`.
+    pub component: String,
+    /// Event kind, e.g. `precopy.round`, `hotplug.detach.end`.
+    pub kind: String,
+    /// Free-form details.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>14}] {:5} {} {} {}",
+            self.at.to_string(),
+            self.level,
+            self.component,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// An append-only trace of simulation activity.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records everything.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A trace that drops everything (for long property-test runs).
+    pub fn disabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether this is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record.
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        level: TraceLevel,
+        component: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.records.push(TraceRecord {
+            at,
+            level,
+            component: component.into(),
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Convenience: phase marker.
+    pub fn phase(&mut self, at: SimTime, component: &str, kind: &str, detail: impl Into<String>) {
+        self.emit(at, TraceLevel::Phase, component, kind, detail);
+    }
+
+    /// Convenience: informational record.
+    pub fn info(&mut self, at: SimTime, component: &str, kind: &str, detail: impl Into<String>) {
+        self.emit(at, TraceLevel::Info, component, kind, detail);
+    }
+
+    /// Convenience: warning record.
+    pub fn warn(&mut self, at: SimTime, component: &str, kind: &str, detail: impl Into<String>) {
+        self.emit(at, TraceLevel::Warn, component, kind, detail);
+    }
+
+    /// Convenience: error record.
+    pub fn error(&mut self, at: SimTime, component: &str, kind: &str, detail: impl Into<String>) {
+        self.emit(at, TraceLevel::Error, component, kind, detail);
+    }
+
+    /// Returns the records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether this is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records of a given kind (exact match).
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// All records whose kind starts with the given prefix.
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.kind.starts_with(prefix))
+    }
+
+    /// First record of the kind, if any.
+    pub fn first_of(&self, kind: &str) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| r.kind == kind)
+    }
+
+    /// Last record of the kind, if any.
+    pub fn last_of(&self, kind: &str) -> Option<&TraceRecord> {
+        self.records.iter().rev().find(|r| r.kind == kind)
+    }
+
+    /// Elapsed time between the first `<name>.start` and the first
+    /// `<name>.end` *at or after* it. This is the primitive the overhead
+    /// breakdown is computed from.
+    pub fn span(&self, name: &str) -> Option<SimDuration> {
+        let start_kind = format!("{name}.start");
+        let end_kind = format!("{name}.end");
+        let start = self.first_of(&start_kind)?;
+        let end = self
+            .records
+            .iter()
+            .find(|r| r.kind == end_kind && r.at >= start.at)?;
+        Some(end.at.since(start.at))
+    }
+
+    /// All (start, end) span pairs for a marker name, matched in order.
+    pub fn spans(&self, name: &str) -> Vec<(SimTime, SimTime)> {
+        let start_kind = format!("{name}.start");
+        let end_kind = format!("{name}.end");
+        let mut out = Vec::new();
+        let mut open: Option<SimTime> = None;
+        for r in &self.records {
+            if r.kind == start_kind {
+                open = Some(r.at);
+            } else if r.kind == end_kind {
+                if let Some(s) = open.take() {
+                    out.push((s, r.at));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total duration covered by all spans of a marker name.
+    pub fn total_span(&self, name: &str) -> SimDuration {
+        self.spans(name).into_iter().map(|(s, e)| e.since(s)).sum()
+    }
+
+    /// True if any error-level records were emitted.
+    pub fn has_errors(&self) -> bool {
+        self.records.iter().any(|r| r.level == TraceLevel::Error)
+    }
+
+    /// Export phase spans as Chrome trace-event JSON (load in
+    /// `chrome://tracing` or Perfetto). Each `<name>.start`/`.end` pair
+    /// becomes a complete ("X") event on its component's row; other
+    /// records become instant ("i") events.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut events = Vec::new();
+        let mut open: Vec<(String, &TraceRecord)> = Vec::new();
+        for r in &self.records {
+            if let Some(name) = r.kind.strip_suffix(".start") {
+                open.push((name.to_string(), r));
+            } else if let Some(name) = r.kind.strip_suffix(".end") {
+                if let Some(pos) = open.iter().rposition(|(n, _)| n == name) {
+                    let (_, start) = open.remove(pos);
+                    events.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":\"{}\"}}",
+                        esc(name),
+                        esc(&start.component),
+                        start.at.as_nanos() / 1_000,
+                        r.at.since(start.at).as_nanos() / 1_000,
+                        esc(&start.component)
+                    ));
+                }
+            } else {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":\"{}\",\"s\":\"t\"}}",
+                    esc(&r.kind),
+                    esc(&r.component),
+                    r.at.as_nanos() / 1_000,
+                    esc(&r.component)
+                ));
+            }
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    /// Render the whole trace as text (debugging aid).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn emit_and_query() {
+        let mut tr = Trace::new();
+        tr.phase(t(1), "vmm", "migration.start", "vm0");
+        tr.info(t(2), "vmm", "precopy.round", "round 1");
+        tr.phase(t(5), "vmm", "migration.end", "vm0");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.of_kind("precopy.round").count(), 1);
+        assert_eq!(tr.span("migration"), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn span_requires_matching_end() {
+        let mut tr = Trace::new();
+        tr.phase(t(1), "x", "phase.start", "");
+        assert_eq!(tr.span("phase"), None);
+    }
+
+    #[test]
+    fn multiple_spans_sum() {
+        let mut tr = Trace::new();
+        tr.phase(t(1), "h", "hotplug.start", "");
+        tr.phase(t(3), "h", "hotplug.end", "");
+        tr.phase(t(10), "h", "hotplug.start", "");
+        tr.phase(t(11), "h", "hotplug.end", "");
+        assert_eq!(tr.spans("hotplug").len(), 2);
+        assert_eq!(tr.total_span("hotplug"), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn disabled_trace_drops() {
+        let mut tr = Trace::disabled();
+        tr.info(t(1), "x", "y", "z");
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn error_detection() {
+        let mut tr = Trace::new();
+        tr.info(t(1), "a", "b", "");
+        assert!(!tr.has_errors());
+        tr.error(t(2), "a", "fail", "boom");
+        assert!(tr.has_errors());
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let mut tr = Trace::new();
+        tr.info(t(1), "m", "btl.select", "");
+        tr.info(t(2), "m", "btl.teardown", "");
+        tr.info(t(3), "m", "crcp.quiesce", "");
+        assert_eq!(tr.with_prefix("btl.").count(), 2);
+    }
+
+    #[test]
+    fn chrome_json_has_complete_and_instant_events() {
+        let mut tr = Trace::new();
+        tr.phase(t(1), "vmm", "migration.start", "");
+        tr.info(t(2), "vmm", "precopy.round", "1");
+        tr.phase(t(5), "vmm", "migration.end", "");
+        let json = tr.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""), "complete span: {json}");
+        assert!(json.contains("\"dur\":4000000"), "4 s in us: {json}");
+        assert!(json.contains("\"ph\":\"i\""), "instant event");
+        assert!(json.contains("\"name\":\"migration\""));
+    }
+
+    #[test]
+    fn chrome_json_escapes_quotes() {
+        let mut tr = Trace::new();
+        tr.info(t(1), "x", "say \"hi\"", "");
+        let json = tr.to_chrome_json();
+        assert!(json.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut tr = Trace::new();
+        tr.warn(t(1), "net.ib", "link.polling", "port 1");
+        let s = tr.render();
+        assert!(s.contains("WARN"));
+        assert!(s.contains("net.ib"));
+        assert!(s.contains("link.polling"));
+    }
+}

@@ -1,0 +1,463 @@
+//! SymVirt controller and agents — the VMM-side half.
+//!
+//! The paper's controller is "a master program on the VMM side" that
+//! "spawns SymVirt agent threads. Each agent connects with the VMM
+//! monitor interface, and executes a procedure corresponding to the
+//! event" (Section III-B). Its Python script API (Fig. 5) is reproduced
+//! here method-for-method: `wait_all`, `device_detach`, `migration`,
+//! `device_attach`, `signal`, `close`.
+//!
+//! Agents operate on all VMs **in parallel** (one agent per QEMU), so a
+//! phase's wall-clock cost is the *maximum* over the per-VM operations,
+//! not the sum — that is why the paper's overhead is flat in the number
+//! of VMs (Fig. 8: "the total overhead is identical as the number of
+//! process per VM increases").
+
+use crate::error::SymVirtError;
+use ninja_cluster::{DataCenter, NodeId};
+use ninja_sim::{SimDuration, SimRng, SimTime};
+use ninja_vmm::{MonitorCommand, MonitorReply, PrecopyPlan, QemuMonitor, VmId, VmPool, VmState};
+
+/// One agent's record of a completed action (for the controller's log).
+#[derive(Debug, Clone)]
+pub struct AgentAction {
+    /// The vm.
+    pub vm: VmId,
+    /// The action.
+    pub action: String,
+    /// The started.
+    pub started: SimTime,
+    /// The duration.
+    pub duration: SimDuration,
+}
+
+/// Result of a parallel device phase.
+#[derive(Debug, Clone)]
+pub struct DevicePhase {
+    /// Longest per-VM hotplug duration (the phase's wall-clock cost).
+    pub duration: SimDuration,
+    /// For attaches: the latest link-active instant across VMs.
+    pub link_active_at: Option<SimTime>,
+}
+
+/// Result of a parallel migration phase.
+#[derive(Debug, Clone)]
+pub struct MigrationPhase {
+    /// Per-VM plans, in hostlist order.
+    pub plans: Vec<PrecopyPlan>,
+    /// When the last VM's migration completed.
+    pub completed_at: SimTime,
+}
+
+impl MigrationPhase {
+    /// Wall-clock cost of the phase from its start.
+    pub fn duration(&self, started: SimTime) -> SimDuration {
+        self.completed_at.since(started)
+    }
+
+    /// Total bytes moved across all VMs.
+    pub fn total_wire_bytes(&self) -> ninja_sim::Bytes {
+        self.plans.iter().map(|p| p.wire_bytes()).sum()
+    }
+}
+
+/// The VMM-side master program.
+#[derive(Debug)]
+pub struct Controller {
+    hostlist: Vec<VmId>,
+    monitor: QemuMonitor,
+    log: Vec<AgentAction>,
+    closed: bool,
+    /// Agents whose QEMU monitor connection has dropped (failure
+    /// injection / crash simulation).
+    failed_agents: std::collections::BTreeSet<VmId>,
+}
+
+impl Controller {
+    /// Create a controller over the given VMs (the script's
+    /// `symvirt.Controller(config.hostlist)`).
+    pub fn new(hostlist: Vec<VmId>, monitor: QemuMonitor) -> Self {
+        Controller {
+            hostlist,
+            monitor,
+            log: Vec::new(),
+            closed: false,
+            failed_agents: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Simulate the crash of the agent serving `vm`: its monitor
+    /// connection drops and every subsequent phase touching that VM
+    /// fails with [`SymVirtError::AgentDisconnected`]. The guests stay
+    /// safely paused in SymVirt wait — a fresh controller can take over.
+    pub fn inject_agent_failure(&mut self, vm: VmId) {
+        self.failed_agents.insert(vm);
+    }
+
+    /// Returns the hostlist.
+    pub fn hostlist(&self) -> &[VmId] {
+        &self.hostlist
+    }
+
+    /// Returns the log.
+    pub fn log(&self) -> &[AgentAction] {
+        &self.log
+    }
+
+    /// Returns the monitor.
+    pub fn monitor(&self) -> &QemuMonitor {
+        &self.monitor
+    }
+
+    fn check_open(&self) -> Result<(), SymVirtError> {
+        if self.closed {
+            // A closed controller has torn down its agents.
+            return Err(SymVirtError::AgentDisconnected(
+                self.hostlist.first().copied().unwrap_or(VmId(0)),
+            ));
+        }
+        if let Some(&vm) = self.failed_agents.iter().next() {
+            return Err(SymVirtError::AgentDisconnected(vm));
+        }
+        Ok(())
+    }
+
+    /// `wait_all`: verify every VM has issued the SymVirt wait hypercall
+    /// (is paused). The real controller blocks here; in the simulation
+    /// the guest side has already run, so this is a consistency check.
+    pub fn wait_all(&self, pool: &VmPool) -> Result<(), SymVirtError> {
+        self.check_open()?;
+        for &vm in &self.hostlist {
+            if pool.get(vm).state != VmState::SymWait {
+                return Err(SymVirtError::VmNotWaiting(vm));
+            }
+        }
+        Ok(())
+    }
+
+    /// `device_detach(tag=...)`: every agent issues `device_del` for the
+    /// tagged device on its VM. Runs in parallel; returns the phase cost.
+    /// VMs without a matching device (e.g. already on Ethernet) are
+    /// skipped, mirroring the script's per-host behaviour.
+    pub fn device_detach(
+        &mut self,
+        tag_prefix: &str,
+        pool: &mut VmPool,
+        dc: &mut DataCenter,
+        now: SimTime,
+        rng: &mut SimRng,
+        during_migration: bool,
+    ) -> Result<DevicePhase, SymVirtError> {
+        self.check_open()?;
+        self.wait_all(pool)?;
+        let mut max = SimDuration::ZERO;
+        for &vm in &self.hostlist.clone() {
+            // Find this VM's passthrough device whose tag starts with the
+            // prefix (the paper tags HCAs 'vf0'; ours are 'hca-<node>').
+            let tag = pool
+                .get(vm)
+                .passthrough
+                .iter()
+                .map(|&d| dc.devices.get(d).tag.clone())
+                .find(|t| t.starts_with(tag_prefix));
+            let Some(tag) = tag else { continue };
+            let reply = self.monitor.execute(
+                MonitorCommand::DeviceDel {
+                    vm,
+                    tag: tag.clone(),
+                    force: false,
+                },
+                pool,
+                dc,
+                now,
+                rng,
+                during_migration,
+            )?;
+            if let MonitorReply::DeviceDeleted { duration, .. } = reply {
+                max = max.max(duration);
+                self.log.push(AgentAction {
+                    vm,
+                    action: format!("device_del {tag}"),
+                    started: now,
+                    duration,
+                });
+            }
+        }
+        Ok(DevicePhase {
+            duration: max,
+            link_active_at: None,
+        })
+    }
+
+    /// `device_attach(...)`: every agent issues `device_add` of a free
+    /// host IB HCA on its VM's node. VMs on nodes without HCAs (Ethernet
+    /// cluster) are skipped.
+    pub fn device_attach(
+        &mut self,
+        pool: &mut VmPool,
+        dc: &mut DataCenter,
+        now: SimTime,
+        rng: &mut SimRng,
+        during_migration: bool,
+    ) -> Result<DevicePhase, SymVirtError> {
+        self.check_open()?;
+        self.wait_all(pool)?;
+        let mut max = SimDuration::ZERO;
+        let mut link_max: Option<SimTime> = None;
+        for &vm in &self.hostlist.clone() {
+            if dc.free_ib_hca_on(pool.get(vm).node).is_none() {
+                continue;
+            }
+            let reply = self.monitor.execute(
+                MonitorCommand::DeviceAddIb { vm },
+                pool,
+                dc,
+                now,
+                rng,
+                during_migration,
+            )?;
+            if let MonitorReply::DeviceAdded {
+                duration,
+                link_active_at,
+                ..
+            } = reply
+            {
+                max = max.max(duration);
+                link_max = Some(link_max.map_or(link_active_at, |m| m.max(link_active_at)));
+                self.log.push(AgentAction {
+                    vm,
+                    action: "device_add ib-hca".into(),
+                    started: now,
+                    duration,
+                });
+            }
+        }
+        Ok(DevicePhase {
+            duration: max,
+            link_active_at: link_max,
+        })
+    }
+
+    /// `migration(src_hostlist, dst_hostlist)`: migrate VM *i* to
+    /// `dsts[i % dsts.len()]` (wrapping supports the paper's
+    /// consolidation of 4 VMs onto 2 hosts). All agents start at `now`;
+    /// contention on shared destination NICs emerges from the link model.
+    pub fn migration(
+        &mut self,
+        dsts: &[NodeId],
+        pool: &mut VmPool,
+        dc: &mut DataCenter,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Result<MigrationPhase, SymVirtError> {
+        self.check_open()?;
+        if dsts.is_empty() {
+            return Err(SymVirtError::EmptyHostlist);
+        }
+        self.wait_all(pool)?;
+        let mut plans = Vec::with_capacity(self.hostlist.len());
+        let mut completed_at = now;
+        for (i, &vm) in self.hostlist.clone().iter().enumerate() {
+            let dst = dsts[i % dsts.len()];
+            let reply = self.monitor.execute(
+                MonitorCommand::Migrate { vm, dst },
+                pool,
+                dc,
+                now,
+                rng,
+                true,
+            )?;
+            if let MonitorReply::MigrationDone { plan, completes_at } = reply {
+                completed_at = completed_at.max(completes_at);
+                self.log.push(AgentAction {
+                    vm,
+                    action: format!("migrate -> {}", dc.node(dst).hostname),
+                    started: now,
+                    duration: completes_at.since(now),
+                });
+                plans.push(plan);
+            }
+        }
+        Ok(MigrationPhase {
+            plans,
+            completed_at,
+        })
+    }
+
+    /// `signal`: resume every VM (SymVirt signal hypercall).
+    pub fn signal(&mut self, pool: &mut VmPool) -> Result<(), SymVirtError> {
+        self.check_open()?;
+        for &vm in &self.hostlist {
+            pool.resume(vm)?;
+        }
+        Ok(())
+    }
+
+    /// `quit` / `close`: tear down the agents. Further calls fail.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_cluster::{DataCenter, StorageId};
+    use ninja_vmm::VmSpec;
+
+    fn world() -> (DataCenter, VmPool, Vec<VmId>, SimRng) {
+        let (mut dc, ib, _) = DataCenter::agc();
+        let mut pool = VmPool::new();
+        let mut rng = SimRng::new(101);
+        let mut vms = Vec::new();
+        for i in 0..4 {
+            let vm = pool
+                .create(
+                    format!("vm{i}"),
+                    VmSpec::paper_vm(),
+                    dc.cluster(ib).nodes[i],
+                    StorageId(0),
+                    &mut dc,
+                )
+                .unwrap();
+            pool.attach_ib_hca(vm, &mut dc, SimTime::ZERO, &mut rng)
+                .unwrap();
+            vms.push(vm);
+        }
+        (dc, pool, vms, rng)
+    }
+
+    fn pause_all(pool: &mut VmPool, vms: &[VmId]) {
+        for &vm in vms {
+            pool.pause(vm).unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_all_requires_paused_vms() {
+        let (_dc, pool, vms, _) = world();
+        let ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        let err = ctl.wait_all(&pool).unwrap_err();
+        assert!(matches!(err, SymVirtError::VmNotWaiting(_)));
+    }
+
+    #[test]
+    fn detach_phase_is_max_not_sum() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        let phase = ctl
+            .device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap();
+        // One IB detach is ~2.8 s; four in parallel must not be ~11 s.
+        let d = phase.duration.as_secs_f64();
+        assert!((2.7..3.3).contains(&d), "parallel detach {d}");
+        assert_eq!(ctl.log().len(), 4);
+        for vm in pool.iter() {
+            assert!(vm.passthrough.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_script_fallback_sequence() {
+        // Mirrors Fig. 5 part 1: wait_all -> device_detach -> signal,
+        // then wait_all -> migration.
+        let (mut dc, mut pool, vms, mut rng) = world();
+        let eth_nodes: Vec<NodeId> = dc.cluster(ninja_cluster::ClusterId(1)).nodes[..4].to_vec();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.wait_all(&pool).unwrap();
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, true)
+            .unwrap();
+        let phase = ctl
+            .migration(&eth_nodes, &mut pool, &mut dc, SimTime::ZERO, &mut rng)
+            .unwrap();
+        assert_eq!(phase.plans.len(), 4);
+        for (i, vm) in pool.iter().enumerate() {
+            assert_eq!(vm.node, eth_nodes[i]);
+        }
+        ctl.signal(&mut pool).unwrap();
+        for vm in pool.iter() {
+            assert_eq!(vm.state, VmState::Running);
+        }
+    }
+
+    #[test]
+    fn consolidation_wraps_hostlist() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        let eth_nodes: Vec<NodeId> = dc.cluster(ninja_cluster::ClusterId(1)).nodes[..2].to_vec();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, true)
+            .unwrap();
+        ctl.migration(&eth_nodes, &mut pool, &mut dc, SimTime::ZERO, &mut rng)
+            .unwrap();
+        // 4 VMs on 2 hosts: 2 each, CPU over-committed.
+        assert_eq!(dc.node(eth_nodes[0]).committed_vcpus(), 16);
+        assert_eq!(dc.node(eth_nodes[0]).cpu_contention(), 2.0);
+    }
+
+    #[test]
+    fn attach_reports_linkup_horizon() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap();
+        let phase = ctl
+            .device_attach(&mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap();
+        let link = phase.link_active_at.expect("IB attach trains links");
+        // attach (~1.1 s) + linkup (~29.8 s)
+        let t = link.as_secs_f64();
+        assert!((30.0..32.5).contains(&t), "link horizon {t}");
+    }
+
+    #[test]
+    fn attach_skips_hca_less_nodes() {
+        let (mut dc, _, _, mut rng) = world();
+        // VMs on the Ethernet cluster have no HCAs to attach.
+        let mut pool2 = VmPool::new();
+        let eth_node = dc.cluster(ninja_cluster::ClusterId(1)).nodes[4];
+        let vm = pool2
+            .create(
+                "eth-vm",
+                VmSpec::paper_vm(),
+                eth_node,
+                StorageId(0),
+                &mut dc,
+            )
+            .unwrap();
+        pool2.pause(vm).unwrap();
+        let mut ctl = Controller::new(vec![vm], QemuMonitor::default());
+        let phase = ctl
+            .device_attach(&mut pool2, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap();
+        assert_eq!(phase.duration, SimDuration::ZERO);
+        assert_eq!(phase.link_active_at, None);
+    }
+
+    #[test]
+    fn injected_agent_failure_blocks_phases() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.inject_agent_failure(vms[2]);
+        let err = ctl
+            .device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap_err();
+        assert!(matches!(err, SymVirtError::AgentDisconnected(vm) if vm == vms[2]));
+        // Nothing happened: every HCA is still attached.
+        for &vm in &vms {
+            assert_eq!(pool.get(vm).passthrough.len(), 1);
+        }
+    }
+
+    #[test]
+    fn closed_controller_rejects() {
+        let (_dc, pool, vms, _) = world();
+        let mut ctl = Controller::new(vms, QemuMonitor::default());
+        ctl.close();
+        assert!(ctl.wait_all(&pool).is_err());
+    }
+}

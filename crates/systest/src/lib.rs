@@ -1,0 +1,1 @@
+pub const NAME: &str = "ninja-systest";

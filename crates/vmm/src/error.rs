@@ -1,0 +1,117 @@
+//! VMM error types.
+
+use ninja_cluster::{DeviceId, NodeId, StorageId};
+use std::fmt;
+
+/// Errors surfaced by VM lifecycle and migration operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmmError {
+    /// Live migration attempted while a VMM-bypass device is attached —
+    /// the fundamental limitation the paper works around ("VMM-bypass I/O
+    /// technologies ... make VM migration impossible").
+    PassthroughAttached {
+        /// The offending device.
+        device: DeviceId,
+    },
+    /// The destination cannot reach the VM's disk (no shared NFS mount).
+    StorageNotReachable {
+        /// The storage.
+        storage: StorageId,
+        /// The dst.
+        dst: NodeId,
+    },
+    /// Destination node lacks memory capacity for the VM.
+    InsufficientCapacity {
+        /// The dst.
+        dst: NodeId,
+    },
+    /// Operation requires the VM to be in a paused/SymVirt-wait state.
+    NotPaused,
+    /// Operation requires a running VM.
+    NotRunning,
+    /// The VM has no device with the requested tag.
+    NoSuchDeviceTag {
+        /// The tag.
+        tag: String,
+    },
+    /// No free device of the requested class on the node.
+    NoFreeDevice {
+        /// The node.
+        node: NodeId,
+    },
+    /// The device is still holding IB resources (QPs/MRs); detaching now
+    /// would lose in-flight data. The CRS pre-checkpoint must release
+    /// them first.
+    DeviceBusy {
+        /// The device.
+        device: DeviceId,
+        /// The leaked.
+        leaked: usize,
+    },
+    /// The monitor connection is gone (VM destroyed).
+    NoSuchVm,
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::PassthroughAttached { device } => write!(
+                f,
+                "cannot migrate: VMM-bypass device {device:?} is attached (detach it first)"
+            ),
+            VmmError::StorageNotReachable { storage, dst } => write!(
+                f,
+                "destination {dst:?} cannot reach shared storage {storage:?}"
+            ),
+            VmmError::InsufficientCapacity { dst } => {
+                write!(f, "destination {dst:?} lacks memory capacity")
+            }
+            VmmError::NotPaused => write!(f, "VM must be paused (SymVirt wait) for this operation"),
+            VmmError::NotRunning => write!(f, "VM is not running"),
+            VmmError::NoSuchDeviceTag { tag } => write!(f, "no attached device tagged '{tag}'"),
+            VmmError::NoFreeDevice { node } => {
+                write!(f, "no free passthrough device on node {node:?}")
+            }
+            VmmError::DeviceBusy { device, leaked } => write!(
+                f,
+                "device {device:?} still holds {leaked} IB resources; unsafe to detach"
+            ),
+            VmmError::NoSuchVm => write!(f, "no such VM"),
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_cluster::{DeviceId, NodeId, StorageId};
+
+    #[test]
+    fn messages_name_the_culprit() {
+        let e = VmmError::PassthroughAttached {
+            device: DeviceId(3),
+        };
+        assert!(e.to_string().contains("DeviceId(3)"));
+        assert!(e.to_string().contains("detach it first"));
+        let e = VmmError::StorageNotReachable {
+            storage: StorageId(1),
+            dst: NodeId(9),
+        };
+        assert!(e.to_string().contains("NodeId(9)"));
+        let e = VmmError::DeviceBusy {
+            device: DeviceId(2),
+            leaked: 7,
+        };
+        assert!(e.to_string().contains("7 IB resources"));
+        let e = VmmError::NoSuchDeviceTag { tag: "vf0".into() };
+        assert!(e.to_string().contains("'vf0'"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(VmmError::NotPaused);
+        assert!(e.to_string().contains("SymVirt wait"));
+    }
+}

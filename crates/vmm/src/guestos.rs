@@ -1,0 +1,227 @@
+//! The guest operating system's view of device hotplug.
+//!
+//! "During phases 1) and 3), the guest OS needs to be able to recognize
+//! the addition and removal of a device to migrate a VM safely.
+//! Therefore, a period of time so that a PCI hotplug mechanism, i.e.,
+//! the ACPI hotplug PCI controller driver `acpiphp`, can work on a
+//! guest OS is required." (Section III-B.)
+//!
+//! This module decomposes the calibrated hotplug latencies of
+//! [`ninja_cluster::calib`] into the guest-visible stages — ACPI
+//! notification, kernel hotplug processing, and driver probe/unbind —
+//! and provides [`GuestPciView`], the state machine a guest traverses
+//! for each device. A unit test cross-checks that the per-stage sums
+//! reproduce the Table II totals, keeping the two layers consistent.
+
+use ninja_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Which guest driver handles a device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuestDriver {
+    /// `mlx4_core`/`mlx4_ib` for the ConnectX HCA.
+    Mlx4,
+    /// `virtio_net` for the para-virtualized NIC.
+    VirtioNet,
+}
+
+/// Per-stage timing of a hotplug as the guest experiences it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverTimings {
+    /// ACPI notification + `acpiphp` slot handling.
+    pub acpi_event: SimDuration,
+    /// Kernel PCI core work (config-space scan, BAR assignment /
+    /// release).
+    pub kernel_pci: SimDuration,
+    /// Driver probe on attach (firmware init for mlx4 is the dominant
+    /// cost).
+    pub probe: SimDuration,
+    /// Driver unbind on detach (mlx4 tears down firmware contexts,
+    /// EQs/CQs; virtio is nearly instant).
+    pub unbind: SimDuration,
+}
+
+impl DriverTimings {
+    /// Stage timings for a driver, decomposing the calibrated totals:
+    /// attach(IB) = 1.12 s and detach(IB) = 2.76 s (see
+    /// `ninja_cluster::calib::HotplugCalib`).
+    pub fn for_driver(driver: GuestDriver) -> Self {
+        match driver {
+            GuestDriver::Mlx4 => DriverTimings {
+                acpi_event: SimDuration::from_millis(60),
+                kernel_pci: SimDuration::from_millis(160),
+                probe: SimDuration::from_millis(900), // firmware boot
+                unbind: SimDuration::from_millis(2540), // context teardown
+            },
+            GuestDriver::VirtioNet => DriverTimings {
+                acpi_event: SimDuration::from_millis(20),
+                kernel_pci: SimDuration::from_millis(20),
+                probe: SimDuration::from_millis(30),
+                unbind: SimDuration::from_millis(20),
+            },
+        }
+    }
+
+    /// Total guest-side attach latency (ACPI + kernel + probe).
+    pub fn attach_total(&self) -> SimDuration {
+        self.acpi_event + self.kernel_pci + self.probe
+    }
+
+    /// Total guest-side detach latency (unbind + kernel + ACPI eject).
+    pub fn detach_total(&self) -> SimDuration {
+        self.unbind + self.kernel_pci + self.acpi_event
+    }
+}
+
+/// Guest-visible state of one PCI function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestDeviceState {
+    /// ACPI has signalled insertion; the kernel is scanning.
+    Enumerating {
+        /// When the driver will be bound and the device usable.
+        bound_at: SimTime,
+    },
+    /// Driver bound; the device is usable by applications.
+    Bound,
+    /// ACPI eject in progress; driver unbinding.
+    Removing {
+        /// When the slot will be empty.
+        gone_at: SimTime,
+    },
+}
+
+/// The guest kernel's device table for hotpluggable functions.
+#[derive(Debug, Default)]
+pub struct GuestPciView {
+    devices: BTreeMap<String, (GuestDriver, GuestDeviceState)>,
+}
+
+impl GuestPciView {
+    /// An empty view (freshly booted guest).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ACPI insertion event for a device with the given slot name.
+    /// Returns when the driver will be bound.
+    pub fn acpi_insert(
+        &mut self,
+        slot: impl Into<String>,
+        driver: GuestDriver,
+        now: SimTime,
+    ) -> SimTime {
+        let bound_at = now + DriverTimings::for_driver(driver).attach_total();
+        self.devices.insert(
+            slot.into(),
+            (driver, GuestDeviceState::Enumerating { bound_at }),
+        );
+        bound_at
+    }
+
+    /// ACPI eject request. Returns when the slot will be empty, or
+    /// `None` if no such device.
+    pub fn acpi_eject(&mut self, slot: &str, now: SimTime) -> Option<SimTime> {
+        let (driver, _) = self.devices.get(slot)?;
+        let gone_at = now + DriverTimings::for_driver(*driver).detach_total();
+        self.devices.insert(
+            slot.to_string(),
+            (*driver, GuestDeviceState::Removing { gone_at }),
+        );
+        Some(gone_at)
+    }
+
+    /// The state of a slot as observed at `now` (Enumerating resolves to
+    /// Bound once the probe completes; Removing resolves to absent).
+    pub fn state_at(&self, slot: &str, now: SimTime) -> Option<GuestDeviceState> {
+        let (_, state) = self.devices.get(slot)?;
+        Some(match *state {
+            GuestDeviceState::Enumerating { bound_at } if now >= bound_at => {
+                GuestDeviceState::Bound
+            }
+            GuestDeviceState::Removing { gone_at } if now >= gone_at => return None,
+            s => s,
+        })
+    }
+
+    /// Is the device usable (driver bound) at `now`? This is the
+    /// "confirm" the application performs in Fig. 4 before proceeding.
+    pub fn confirm(&self, slot: &str, now: SimTime) -> bool {
+        matches!(self.state_at(slot, now), Some(GuestDeviceState::Bound))
+    }
+
+    /// Number of slots the kernel currently tracks.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_cluster::HotplugCalib;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    /// The per-stage decomposition must reproduce the cluster layer's
+    /// calibrated (best-case) totals exactly — the two models describe
+    /// the same hardware.
+    #[test]
+    fn stages_sum_to_calibrated_totals() {
+        let calib = HotplugCalib::default();
+        let mlx4 = DriverTimings::for_driver(GuestDriver::Mlx4);
+        assert_eq!(mlx4.attach_total(), calib.attach_ib);
+        assert_eq!(mlx4.detach_total(), calib.detach_ib);
+        let virtio = DriverTimings::for_driver(GuestDriver::VirtioNet);
+        assert_eq!(virtio.attach_total(), calib.attach_eth);
+        assert_eq!(virtio.detach_total(), calib.detach_eth);
+    }
+
+    #[test]
+    fn insert_enumerates_then_binds() {
+        let mut view = GuestPciView::new();
+        let bound_at = view.acpi_insert("0000:00:05.0", GuestDriver::Mlx4, t(10.0));
+        assert!(matches!(
+            view.state_at("0000:00:05.0", t(10.5)),
+            Some(GuestDeviceState::Enumerating { .. })
+        ));
+        assert!(!view.confirm("0000:00:05.0", t(10.5)));
+        assert!(view.confirm("0000:00:05.0", bound_at));
+        // mlx4 attach is 1.12 s.
+        assert!((bound_at.since(t(10.0)).as_secs_f64() - 1.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eject_removes_after_unbind() {
+        let mut view = GuestPciView::new();
+        let bound_at = view.acpi_insert("slot1", GuestDriver::Mlx4, t(0.0));
+        let gone_at = view.acpi_eject("slot1", bound_at).unwrap();
+        assert!(matches!(
+            view.state_at("slot1", bound_at),
+            Some(GuestDeviceState::Removing { .. })
+        ));
+        assert_eq!(view.state_at("slot1", gone_at), None);
+        // mlx4 detach is 2.76 s.
+        assert!((gone_at.since(bound_at).as_secs_f64() - 2.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtio_is_fast() {
+        let mut view = GuestPciView::new();
+        let bound_at = view.acpi_insert("net0", GuestDriver::VirtioNet, t(0.0));
+        assert!(bound_at.as_secs_f64() < 0.1);
+    }
+
+    #[test]
+    fn eject_unknown_slot_is_none() {
+        let mut view = GuestPciView::new();
+        assert_eq!(view.acpi_eject("ghost", t(0.0)), None);
+        assert!(view.is_empty());
+    }
+}

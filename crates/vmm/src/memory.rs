@@ -1,0 +1,200 @@
+//! Guest memory model for migration planning.
+//!
+//! We do not allocate guest RAM; we model its *migration-relevant
+//! statistics*: how much of it is non-zero, how much of the non-zero part
+//! is uniform (compressible by QEMU's zero/uniform-page optimization,
+//! Section IV-B.2), and how fast the workload redirties pages. That is
+//! exactly the information precopy needs, and it is what makes the
+//! paper's observation reproducible that "the migration time is not
+//! exactly proportional to the memory footprint".
+
+use ninja_sim::Bytes;
+
+/// Default x86 page size.
+pub const PAGE_SIZE: Bytes = Bytes::new(4096);
+
+/// Bytes QEMU sends for a compressed (zero/uniform) page: a header plus
+/// one byte of pattern, ~9 bytes per 4 KiB page.
+pub const COMPRESSED_PAGE_BYTES: u64 = 9;
+
+/// Statistics-level model of one VM's RAM.
+///
+/// ```
+/// use ninja_sim::Bytes;
+/// use ninja_vmm::GuestMemory;
+/// let mut mem = GuestMemory::new(Bytes::from_gib(20));
+/// mem.set_workload(Bytes::from_gib(8), 0.6, 4.0e9); // memtest-like
+/// // Zero and uniform pages compress: far less than 20 GiB on the wire.
+/// assert!(mem.full_pass_wire_bytes().get() < Bytes::from_gib(6).get());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    /// Configured RAM size (the paper's VMs: 20 GiB).
+    total: Bytes,
+    /// Non-zero, non-compressible resident set of the guest OS itself
+    /// (kernel, daemons, page cache). The paper's smallest NPB footprint
+    /// is 2.3 GB, which bounds this from above.
+    os_resident: Bytes,
+    /// Additional bytes touched by the application workload.
+    workload_touched: Bytes,
+    /// Fraction of the workload's pages that hold uniform data and
+    /// compress like zero pages (memtest's repeated fill pattern is
+    /// highly uniform; NPB's floating-point state is not).
+    workload_uniform_frac: f64,
+    /// Rate at which the running workload redirties its pages, bytes/sec.
+    dirty_bytes_per_sec: f64,
+}
+
+impl GuestMemory {
+    /// A VM with `total` RAM and a default 1.5 GiB OS resident set.
+    pub fn new(total: Bytes) -> Self {
+        let os = Bytes::from_mib(1536).min(total);
+        GuestMemory {
+            total,
+            os_resident: os,
+            workload_touched: Bytes::ZERO,
+            workload_uniform_frac: 0.0,
+            dirty_bytes_per_sec: 0.0,
+        }
+    }
+
+    /// Override the OS resident set.
+    pub fn with_os_resident(mut self, os: Bytes) -> Self {
+        assert!(os.get() <= self.total.get(), "resident set exceeds RAM");
+        self.os_resident = os;
+        self
+    }
+
+    /// Returns the total.
+    pub fn total(&self) -> Bytes {
+        self.total
+    }
+
+    /// Returns the os resident.
+    pub fn os_resident(&self) -> Bytes {
+        self.os_resident
+    }
+
+    /// Returns the workload touched.
+    pub fn workload_touched(&self) -> Bytes {
+        self.workload_touched
+    }
+
+    /// Returns the dirty bytes per sec.
+    pub fn dirty_bytes_per_sec(&self) -> f64 {
+        self.dirty_bytes_per_sec
+    }
+
+    /// Install the workload's memory behaviour. `touched` is clamped to
+    /// the space left over the OS resident set.
+    pub fn set_workload(&mut self, touched: Bytes, uniform_frac: f64, dirty_bytes_per_sec: f64) {
+        assert!((0.0..=1.0).contains(&uniform_frac));
+        assert!(dirty_bytes_per_sec >= 0.0);
+        let avail = self.total.saturating_sub(self.os_resident);
+        self.workload_touched = touched.min(avail);
+        self.workload_uniform_frac = uniform_frac;
+        self.dirty_bytes_per_sec = dirty_bytes_per_sec;
+    }
+
+    /// Clear the workload contribution (application exited).
+    pub fn clear_workload(&mut self) {
+        self.workload_touched = Bytes::ZERO;
+        self.workload_uniform_frac = 0.0;
+        self.dirty_bytes_per_sec = 0.0;
+    }
+
+    /// Total footprint (OS + workload), the quantity Figs. 6-7 sweep.
+    pub fn footprint(&self) -> Bytes {
+        self.os_resident + self.workload_touched
+    }
+
+    /// Bytes that must cross the wire for one full precopy pass:
+    /// incompressible pages in full, compressible/zero pages as headers.
+    pub fn full_pass_wire_bytes(&self) -> Bytes {
+        let workload_full =
+            (self.workload_touched.as_f64() * (1.0 - self.workload_uniform_frac)) as u64;
+        let incompressible = self.os_resident.get() + workload_full;
+        let compressible = self.total.get().saturating_sub(incompressible);
+        let headers = Bytes::new(compressible).pages(PAGE_SIZE) * COMPRESSED_PAGE_BYTES;
+        Bytes::new(incompressible + headers)
+    }
+
+    /// Bytes redirtied over an interval while the guest runs, capped by
+    /// the workload's own footprint (it cannot dirty more than it owns).
+    pub fn dirtied_over(&self, secs: f64) -> Bytes {
+        debug_assert!(secs >= 0.0);
+        let d = (self.dirty_bytes_per_sec * secs) as u64;
+        Bytes::new(d).min(self.workload_touched.max(self.os_resident))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gib(g: u64) -> Bytes {
+        Bytes::from_gib(g)
+    }
+
+    #[test]
+    fn empty_vm_is_mostly_compressible() {
+        let mem = GuestMemory::new(gib(20));
+        let wire = mem.full_pass_wire_bytes();
+        // 1.5 GiB resident + ~18.5 GiB of zero pages as 9-byte headers.
+        let headers = (gib(20) - Bytes::from_mib(1536)).pages(PAGE_SIZE) * COMPRESSED_PAGE_BYTES;
+        assert_eq!(wire, Bytes::from_mib(1536) + Bytes::new(headers));
+        assert!(wire.get() < gib(2).get(), "zero pages compress well");
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_footprint_sublinearly_when_uniform() {
+        let mut small = GuestMemory::new(gib(20));
+        small.set_workload(gib(2), 0.6, 0.0);
+        let mut large = GuestMemory::new(gib(20));
+        large.set_workload(gib(16), 0.6, 0.0);
+        let ws = small.full_pass_wire_bytes().as_f64();
+        let wl = large.full_pass_wire_bytes().as_f64();
+        assert!(wl > ws, "more footprint -> more wire bytes");
+        // 8x footprint but < 8x wire bytes: uniform pages compress away.
+        assert!(wl / ws < 8.0, "sublinear: {}", wl / ws);
+    }
+
+    #[test]
+    fn incompressible_workload_transfers_fully() {
+        let mut mem = GuestMemory::new(gib(20));
+        mem.set_workload(gib(8), 0.0, 0.0);
+        let wire = mem.full_pass_wire_bytes();
+        assert!(wire.get() >= mem.footprint().get(), "{wire} >= footprint");
+    }
+
+    #[test]
+    fn workload_clamped_to_ram() {
+        let mut mem = GuestMemory::new(gib(4));
+        mem.set_workload(gib(100), 0.0, 0.0);
+        assert!(mem.footprint().get() <= gib(4).get());
+    }
+
+    #[test]
+    fn dirty_is_capped_by_footprint() {
+        let mut mem = GuestMemory::new(gib(20));
+        mem.set_workload(gib(2), 0.0, 10e9); // 10 GB/s dirty rate
+        let d = mem.dirtied_over(100.0);
+        assert_eq!(d, gib(2), "cannot dirty more than owned");
+    }
+
+    #[test]
+    fn clear_workload_resets() {
+        let mut mem = GuestMemory::new(gib(20));
+        mem.set_workload(gib(8), 0.5, 1e9);
+        mem.clear_workload();
+        assert_eq!(mem.workload_touched(), Bytes::ZERO);
+        assert_eq!(mem.dirtied_over(1.0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn footprint_composition() {
+        let mut mem = GuestMemory::new(gib(20)).with_os_resident(Bytes::from_mib(2355));
+        mem.set_workload(gib(4), 0.0, 0.0);
+        assert_eq!(mem.footprint(), Bytes::from_mib(2355) + gib(4));
+    }
+}

@@ -1,0 +1,131 @@
+//! The fallback/recovery demonstration benchmark (Fig. 8).
+//!
+//! "The benchmark program used was a simple MPI program that repeatedly
+//! broadcasts and reduces 8 GB data per a node. ... The elapsed time of
+//! each iteration should decrease, as the performance of interconnection
+//! increases. This is because MPI_Bcast and MPI_Reduce are dominant in
+//! the execution time." (Section IV-C.)
+//!
+//! The 8 GB per node is divided among the ranks of the VM, so the
+//! 8-processes-per-VM runs move 1 GB per rank per collective — which is
+//! why they are *faster* per iteration than the 1-process runs except
+//! under CPU over-commit.
+
+use crate::runner::{IterativeWorkload, MemoryProfile};
+use ninja_mpi::{CommEnv, MpiRuntime, Rank};
+use ninja_sim::{Bytes, SimDuration};
+
+/// Data broadcast+reduced per node per iteration (the paper: 8 GB).
+pub const DATA_PER_NODE: Bytes = Bytes::from_gib(8);
+
+/// The Fig. 8 benchmark.
+#[derive(Debug, Clone)]
+pub struct BcastReduce {
+    iterations: u32,
+    procs_per_vm: u32,
+    name: String,
+}
+
+impl BcastReduce {
+    /// `iterations` steps with `procs_per_vm` ranks per VM.
+    pub fn new(iterations: u32, procs_per_vm: u32) -> Self {
+        assert!(procs_per_vm > 0);
+        BcastReduce {
+            iterations,
+            procs_per_vm,
+            name: format!("bcast-reduce.{procs_per_vm}ppv"),
+        }
+    }
+
+    /// The per-rank collective payload: 8 GB per node split over the
+    /// node's ranks.
+    pub fn payload_per_rank(&self) -> Bytes {
+        Bytes::new(DATA_PER_NODE.get() / self.procs_per_vm as u64)
+    }
+}
+
+impl IterativeWorkload for BcastReduce {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    fn memory_profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            // The 8 GB buffer lives in each VM; its contents churn with
+            // every collective.
+            touched: DATA_PER_NODE,
+            uniform_frac: 0.1,
+            dirty_bytes_per_sec: 1.5e9,
+        }
+    }
+
+    fn compute_per_iteration(&self) -> SimDuration {
+        // Touching 8 GB per node to produce/consume the payload.
+        SimDuration::from_secs_f64(DATA_PER_NODE.as_f64() / 8.0e9)
+    }
+
+    fn comm_per_iteration(&self, rt: &MpiRuntime, env: &CommEnv) -> SimDuration {
+        let payload = self.payload_per_rank();
+        rt.bcast_time(Rank(0), payload, env) + rt.reduce_time(Rank(0), payload, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_migration::World;
+
+    #[test]
+    fn payload_divides_by_procs() {
+        assert_eq!(
+            BcastReduce::new(10, 1).payload_per_rank(),
+            Bytes::from_gib(8)
+        );
+        assert_eq!(
+            BcastReduce::new(10, 8).payload_per_rank(),
+            Bytes::from_gib(1)
+        );
+    }
+
+    #[test]
+    fn ib_iterations_faster_than_tcp() {
+        let mut w = World::agc(80);
+        let ib_vms = w.boot_ib_vms(4);
+        let ib_rt = w.start_job(ib_vms, 1);
+        let env = w.comm_env();
+        let bench = BcastReduce::new(10, 1);
+        let ib_iter = bench.comm_per_iteration(&ib_rt, &env);
+
+        let mut w2 = World::agc(81);
+        let eth_vms = w2.boot_eth_vms(4);
+        let eth_rt = w2.start_job(eth_vms, 1);
+        let env2 = w2.comm_env();
+        let tcp_iter = bench.comm_per_iteration(&eth_rt, &env2);
+        assert!(
+            tcp_iter.as_secs_f64() > 2.0 * ib_iter.as_secs_f64(),
+            "tcp {tcp_iter} vs ib {ib_iter}"
+        );
+    }
+
+    #[test]
+    fn eight_procs_faster_than_one_on_ib() {
+        // Paper: "the execution times of 8 processes per VM are faster
+        // than those of 1 process per VM, except for 2 hosts (TCP)".
+        let mut w = World::agc(82);
+        let vms = w.boot_ib_vms(4);
+        let rt1 = w.start_job(vms.clone(), 1);
+        let env = w.comm_env();
+        let one = BcastReduce::new(10, 1).comm_per_iteration(&rt1, &env);
+
+        let mut w8 = World::agc(83);
+        let vms8 = w8.boot_ib_vms(4);
+        let rt8 = w8.start_job(vms8, 8);
+        let env8 = w8.comm_env();
+        let eight = BcastReduce::new(10, 8).comm_per_iteration(&rt8, &env8);
+        assert!(eight < one, "8ppv {eight} vs 1ppv {one}");
+    }
+}

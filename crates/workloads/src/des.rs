@@ -1,0 +1,276 @@
+//! Event-driven execution of *concurrent* jobs.
+//!
+//! [`crate::runner`] advances one job's iterations sequentially. This
+//! module drives any number of jobs through the [`ninja_sim::Engine`],
+//! interleaving their iterations and migrations in virtual time — so
+//! two jobs that migrate into the same destination rack at overlapping
+//! times genuinely contend on the shared NIC/WAN links (the network
+//! reservations carry absolute timestamps), and a consolidation wave
+//! across the whole data center can be simulated as one scenario.
+
+use crate::runner::{IterationRecord, IterativeWorkload, MemoryProfile, RunRecord, StepPlan};
+use ninja_migration::{NinjaOrchestrator, World};
+use ninja_mpi::MpiRuntime;
+use ninja_sim::{Engine, SimDuration, SimTime};
+
+/// One job participating in a concurrent scenario.
+pub struct ConcurrentJob {
+    /// The job's MPI runtime (already initialized).
+    pub rt: MpiRuntime,
+    /// Its workload.
+    pub workload: Box<dyn IterativeWorkload>,
+    /// Step-keyed migration plan (see [`StepPlan`]).
+    pub plan: StepPlan,
+    /// Virtual time at which the job starts iterating.
+    pub start_at: SimTime,
+}
+
+struct JobSlot {
+    rt: MpiRuntime,
+    workload: Box<dyn IterativeWorkload>,
+    plan: StepPlan,
+    start_at: SimTime,
+    records: Vec<IterationRecord>,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+}
+
+struct Sim {
+    world: World,
+    jobs: Vec<JobSlot>,
+    orch: NinjaOrchestrator,
+}
+
+fn profile_of(slot: &JobSlot) -> MemoryProfile {
+    slot.workload.memory_profile()
+}
+
+fn run_iteration(sim: &mut Sim, job: usize, step: u32, now: SimTime) -> SimTime {
+    // The world clock is per-event in a concurrent scenario: rewind or
+    // advance it to this event's time (network reservations keep their
+    // own absolute busy-until state, so cross-job contention is exact).
+    sim.world.clock = now;
+    let slot = &mut sim.jobs[job];
+    let mut overhead = SimDuration::ZERO;
+    let mut migration = None;
+    if let Some((_, dsts)) = slot.plan.iter().find(|(s, _)| *s == step) {
+        let dsts = dsts.clone();
+        let before = sim.world.clock;
+        // Split borrows: the orchestrator needs world and rt.
+        let rt = &mut sim.jobs[job].rt;
+        let report = sim
+            .orch
+            .migrate(&mut sim.world, rt, &dsts)
+            .expect("planned migration succeeds");
+        overhead = sim.world.clock.since(before);
+        migration = Some(report);
+    }
+    let slot = &sim.jobs[job];
+    let env = sim.world.comm_env();
+    let contention = slot
+        .rt
+        .layout()
+        .vms()
+        .iter()
+        .map(|&vm| {
+            sim.world
+                .dc
+                .node(sim.world.pool.get(vm).node)
+                .cpu_contention()
+        })
+        .fold(1.0_f64, f64::max);
+    let compute = slot.workload.compute_per_iteration().mul_f64(contention);
+    let comm = slot.workload.comm_per_iteration(&slot.rt, &env);
+    let app_time = compute + comm;
+    // The world clock already advanced through any migration overhead.
+    let end = sim.world.clock + app_time;
+    sim.jobs[job].records.push(IterationRecord {
+        step,
+        app_time,
+        overhead,
+        migration,
+    });
+    end
+}
+
+/// Run `jobs` concurrently over `world` until all complete. Returns the
+/// world (with its trace) and one [`RunRecord`] per job, in input order.
+pub fn run_concurrent(
+    mut world: World,
+    jobs: Vec<ConcurrentJob>,
+    orch: NinjaOrchestrator,
+) -> (World, Vec<RunRecord>) {
+    let mut sim = Sim {
+        world,
+        jobs: jobs
+            .into_iter()
+            .map(|j| JobSlot {
+                rt: j.rt,
+                workload: j.workload,
+                plan: j.plan,
+                start_at: j.start_at,
+                records: Vec::new(),
+                started: None,
+                finished: None,
+            })
+            .collect(),
+        orch,
+    };
+    let mut engine: Engine<Sim> = Engine::new();
+
+    // Recursive event: run a step, then schedule the next one.
+    fn step_event(sim: &mut Sim, ctx: &mut ninja_sim::Ctx<Sim>, job: usize, step: u32) {
+        if sim.jobs[job].started.is_none() {
+            sim.jobs[job].started = Some(ctx.now());
+            let profile = profile_of(&sim.jobs[job]);
+            for &vm in sim.jobs[job].rt.layout().vms().to_vec().iter() {
+                sim.world.pool.get_mut(vm).memory.set_workload(
+                    profile.touched,
+                    profile.uniform_frac,
+                    profile.dirty_bytes_per_sec,
+                );
+            }
+        }
+        let end = run_iteration(sim, job, step, ctx.now());
+        let total = sim.jobs[job].workload.iterations();
+        if step < total {
+            ctx.schedule_at(end, move |sim: &mut Sim, ctx| {
+                step_event(sim, ctx, job, step + 1);
+            });
+        } else {
+            sim.jobs[job].finished = Some(end);
+            for &vm in sim.jobs[job].rt.layout().vms().to_vec().iter() {
+                sim.world.pool.get_mut(vm).memory.clear_workload();
+            }
+        }
+    }
+    // Seed: each job's first iteration at its start time.
+    for (i, slot) in sim.jobs.iter().enumerate() {
+        let at = slot.start_at;
+        engine.schedule_at(at, move |sim: &mut Sim, ctx| {
+            step_event(sim, ctx, i, 1);
+        });
+    }
+    engine.run_until_idle(&mut sim);
+
+    let records = sim
+        .jobs
+        .iter()
+        .map(|slot| RunRecord {
+            name: slot.workload.name().to_string(),
+            iterations: slot.records.clone(),
+            total: slot
+                .finished
+                .unwrap_or(SimTime::ZERO)
+                .since(slot.started.unwrap_or(SimTime::ZERO)),
+        })
+        .collect();
+    world = sim.world;
+    (world, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcast_reduce::BcastReduce;
+    use ninja_migration::World;
+
+    fn job(world: &mut World, nodes: std::ops::Range<usize>, iters: u32) -> ConcurrentJob {
+        let mut vms = Vec::new();
+        let mut ready = world.clock;
+        for i in nodes {
+            let node = world.ib_node(i);
+            let vm = world
+                .pool
+                .create(
+                    format!("cjob-{i}"),
+                    ninja_vmm::VmSpec::paper_vm(),
+                    node,
+                    ninja_cluster::StorageId(0),
+                    &mut world.dc,
+                )
+                .unwrap();
+            // All HCAs train in parallel from the scenario start.
+            let (_, at) = world
+                .pool
+                .attach_ib_hca(vm, &mut world.dc, ninja_sim::SimTime::ZERO, &mut world.rng)
+                .unwrap();
+            ready = ready.max(at);
+            vms.push(vm);
+        }
+        world.advance_to(ready);
+        let rt = world.start_job(vms, 1);
+        ConcurrentJob {
+            rt,
+            workload: Box::new(BcastReduce::new(iters, 1)),
+            plan: vec![],
+            start_at: world.clock,
+        }
+    }
+
+    /// Align every job's start to the latest boot, so their iteration
+    /// schedules overlap.
+    fn align(jobs: &mut [ConcurrentJob]) {
+        let latest = jobs.iter().map(|j| j.start_at).max().unwrap();
+        for j in jobs {
+            j.start_at = latest;
+        }
+    }
+
+    #[test]
+    fn two_jobs_complete_independently() {
+        let mut w = World::agc(950);
+        let a = job(&mut w, 0..2, 5);
+        let b = job(&mut w, 2..4, 5);
+        let (_, records) = run_concurrent(w, vec![a, b], NinjaOrchestrator::default());
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.iterations.len(), 5);
+            assert_eq!(r.overhead_total(), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn concurrent_migrations_to_same_rack_contend() {
+        // Job A and job B both evacuate to the SAME two Ethernet hosts
+        // at (roughly) the same virtual time: their migration traffic
+        // queues on the shared destination NICs, so at least one of
+        // them pays more than a solo migration would.
+        let solo_overhead = {
+            let mut w = World::agc(951);
+            let mut a = job(&mut w, 0..2, 3);
+            a.plan = vec![(2, vec![w.eth_node(0), w.eth_node(1)])];
+            let (_, records) = run_concurrent(w, vec![a], NinjaOrchestrator::default());
+            records[0].overhead_total()
+        };
+        let (oa, ob) = {
+            let mut w = World::agc(951);
+            let mut a = job(&mut w, 0..2, 3);
+            a.plan = vec![(2, vec![w.eth_node(0), w.eth_node(1)])];
+            let mut b = job(&mut w, 2..4, 3);
+            b.plan = vec![(2, vec![w.eth_node(0), w.eth_node(1)])];
+            let mut jobs = vec![a, b];
+            align(&mut jobs);
+            let (_, records) = run_concurrent(w, jobs, NinjaOrchestrator::default());
+            (records[0].overhead_total(), records[1].overhead_total())
+        };
+        let max = oa.max(ob);
+        assert!(
+            max.as_secs_f64() > 1.05 * solo_overhead.as_secs_f64(),
+            "shared-destination contention: solo {solo_overhead} vs contended {max}"
+        );
+    }
+
+    #[test]
+    fn staggered_starts_respected() {
+        let mut w = World::agc(952);
+        let a = job(&mut w, 0..2, 2);
+        let mut b = job(&mut w, 2..4, 2);
+        b.start_at += SimDuration::from_secs(100);
+        let start_b = b.start_at;
+        let (world, records) = run_concurrent(w, vec![a, b], NinjaOrchestrator::default());
+        assert!(records[1].total > SimDuration::ZERO);
+        // The world trace's last event is at or after job B's window.
+        assert!(world.clock >= start_b || world.clock == SimTime::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! The memtest micro-benchmark.
+//!
+//! "A memtest benchmark sequentially writes data to a 2 GB memory
+//! array" (Section IV-B.1); for Fig. 6 the array ranges from 2 GB to
+//! 16 GB. One MPI process runs per VM and there is essentially no
+//! communication — the benchmark exists to dirty a known amount of
+//! memory with a repetitive fill pattern (which QEMU's uniform-page
+//! compression partially collapses).
+
+use crate::runner::{IterativeWorkload, MemoryProfile};
+use ninja_mpi::{CommEnv, MpiRuntime};
+use ninja_sim::{Bytes, SimDuration};
+
+/// Sustained per-core streaming-store bandwidth of the paper's Xeon
+/// E5540 (~4 GB/s with one writer per socket pair).
+const WRITE_BYTES_PER_SEC: f64 = 4.0e9;
+
+/// Fraction of memtest's fill pattern that lands as uniform pages.
+/// A repeated constant pattern is highly compressible; page headers and
+/// stride effects keep it below 1.
+const MEMTEST_UNIFORM_FRAC: f64 = 0.6;
+
+/// The memtest workload: `passes` sequential writes over an `array`.
+#[derive(Debug, Clone)]
+pub struct Memtest {
+    array: Bytes,
+    passes: u32,
+    name: String,
+}
+
+impl Memtest {
+    /// A memtest over an array of `array` bytes, rewritten `passes`
+    /// times.
+    pub fn new(array: Bytes, passes: u32) -> Self {
+        assert!(passes > 0);
+        let name = format!("memtest.{}x{passes}", array);
+        Memtest {
+            array,
+            passes,
+            name,
+        }
+    }
+
+    /// The paper's Fig. 6 sweep sizes (2, 4, 8, 16 GiB).
+    pub fn fig6_sizes() -> Vec<Bytes> {
+        [2u64, 4, 8, 16].map(Bytes::from_gib).to_vec()
+    }
+
+    /// Returns the array.
+    pub fn array(&self) -> Bytes {
+        self.array
+    }
+}
+
+impl IterativeWorkload for Memtest {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn iterations(&self) -> u32 {
+        self.passes
+    }
+
+    fn memory_profile(&self) -> MemoryProfile {
+        MemoryProfile {
+            touched: self.array,
+            uniform_frac: MEMTEST_UNIFORM_FRAC,
+            dirty_bytes_per_sec: WRITE_BYTES_PER_SEC,
+        }
+    }
+
+    fn compute_per_iteration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.array.as_f64() / WRITE_BYTES_PER_SEC)
+    }
+
+    fn comm_per_iteration(&self, rt: &MpiRuntime, env: &CommEnv) -> SimDuration {
+        // A tiny heartbeat allreduce so the job is a real MPI program,
+        // as in the paper's harness.
+        rt.allreduce_time(Bytes::new(8), env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_time_scales_with_array() {
+        let small = Memtest::new(Bytes::from_gib(2), 1);
+        let large = Memtest::new(Bytes::from_gib(16), 1);
+        let ratio = large.compute_per_iteration().as_secs_f64()
+            / small.compute_per_iteration().as_secs_f64();
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_reflects_array() {
+        let m = Memtest::new(Bytes::from_gib(4), 3);
+        let p = m.memory_profile();
+        assert_eq!(p.touched, Bytes::from_gib(4));
+        assert!(p.uniform_frac > 0.0, "memtest pattern compresses");
+        assert_eq!(m.iterations(), 3);
+    }
+
+    #[test]
+    fn fig6_sizes_match_paper() {
+        let sizes = Memtest::fig6_sizes();
+        assert_eq!(
+            sizes,
+            vec![
+                Bytes::from_gib(2),
+                Bytes::from_gib(4),
+                Bytes::from_gib(8),
+                Bytes::from_gib(16)
+            ]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Canned builders for the paper's canonical experimental setups.
+//!
+//! The benchmark harness, the integration tests, and downstream users
+//! all need the same handful of prepared worlds; building them here once
+//! keeps the setups identical everywhere.
+
+use crate::bcast_reduce::BcastReduce;
+use crate::runner::StepPlan;
+use ninja_cluster::{DataCenterBuilder, FabricKind, NodeSpec};
+use ninja_migration::World;
+use ninja_mpi::MpiRuntime;
+
+/// Two 8-node InfiniBand clusters with shared storage — the Fig. 6 / 7
+/// setup ("both the source and the destination clusters use Infiniband
+/// only"). The world's `ib_cluster` is the source, `eth_cluster` the
+/// (also-InfiniBand) destination.
+pub fn two_ib_clusters(seed: u64) -> World {
+    let mut b = DataCenterBuilder::new();
+    let a = b.add_cluster("ib-a", FabricKind::Infiniband, 8, NodeSpec::agc_blade());
+    let c = b.add_cluster("ib-b", FabricKind::Infiniband, 8, NodeSpec::agc_blade());
+    b.shared_storage("vm-images", &[a, c]);
+    World::from_parts(b.build(), a, c, seed)
+}
+
+/// The Fig. 8 scenario, fully assembled: 4 VMs booted on the AGC IB
+/// cluster, a `procs_per_vm`-ranks-per-VM job, the 40-iteration
+/// bcast+reduce benchmark, and the migration plan
+/// `step 11 -> 2 Eth hosts, step 21 -> 4 IB hosts, step 31 -> 4 Eth
+/// hosts`. Feed the pieces to
+/// [`crate::runner::run_with_step_plan`].
+pub fn fig8(seed: u64, procs_per_vm: u32) -> (World, MpiRuntime, BcastReduce, StepPlan) {
+    let mut w = World::agc(seed);
+    let vms = w.boot_ib_vms(4);
+    let rt = w.start_job(vms, procs_per_vm);
+    let bench = BcastReduce::new(40, procs_per_vm);
+    let plan: StepPlan = vec![
+        (11, (0..2).map(|i| w.eth_node(i)).collect()),
+        (21, (0..4).map(|i| w.ib_node(i)).collect()),
+        (31, (0..4).map(|i| w.eth_node(i)).collect()),
+    ];
+    (w, rt, bench, plan)
+}
+
+/// The geo-distributed disaster-recovery pair used by the WAN studies:
+/// a 4-node IB primary and a 4-node Ethernet DR site joined by a WAN of
+/// the given bandwidth/latency, sharing a geo-replicated NFS export.
+pub fn geo_pair(
+    seed: u64,
+    wan_bandwidth: ninja_sim::Bandwidth,
+    wan_latency: ninja_sim::SimDuration,
+) -> World {
+    let mut b = DataCenterBuilder::new();
+    let primary = b.add_cluster(
+        "primary-ib",
+        FabricKind::Infiniband,
+        4,
+        NodeSpec::agc_blade(),
+    );
+    let dr = b.add_cluster("dr-eth", FabricKind::Ethernet, 4, NodeSpec::agc_blade());
+    b.shared_storage("geo-replicated-nfs", &[primary, dr]);
+    b.wan_link(primary, dr, wan_bandwidth, wan_latency);
+    World::from_parts(b.build(), primary, dr, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_with_step_plan;
+    use ninja_migration::NinjaOrchestrator;
+
+    #[test]
+    fn fig8_builder_matches_handwritten_setup() {
+        let (mut w, mut rt, bench, plan) = fig8(1, 1);
+        assert_eq!(rt.layout().total_ranks(), 4);
+        assert_eq!(plan.len(), 3);
+        let rec = run_with_step_plan(
+            &mut w,
+            &mut rt,
+            &bench,
+            &plan,
+            &NinjaOrchestrator::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.iterations.len(), 40);
+        assert_eq!(rec.migrations().count(), 3);
+    }
+
+    #[test]
+    fn two_ib_clusters_shape() {
+        let w = two_ib_clusters(2);
+        assert_eq!(w.dc.node_count(), 16);
+        assert_eq!(w.dc.cluster(w.eth_cluster).fabric, FabricKind::Infiniband);
+        assert!(w
+            .dc
+            .free_ib_hca_on(w.cluster_node(w.eth_cluster, 0))
+            .is_some());
+    }
+
+    #[test]
+    fn geo_pair_has_wan() {
+        let w = geo_pair(
+            3,
+            ninja_sim::Bandwidth::from_gbps(1.0),
+            ninja_sim::SimDuration::from_millis(20),
+        );
+        assert!(w.dc.wan_between(w.ib_cluster, w.eth_cluster).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Render the regenerators' JSON results as SVG figures (no dependencies).
+
+Usage: after `scripts/reproduce.sh`, run
+
+    python3 scripts/plot_results.py
+
+and find fig6.svg / fig7.svg / fig8.svg under results/.
+"""
+
+import json
+import os
+import sys
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "results")
+COLORS = ["#4878a8", "#e49444", "#6a9f58", "#d1605e", "#a87c9f"]
+
+
+def svg_header(w, h):
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+        f'viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">'
+        f'<rect width="{w}" height="{h}" fill="white"/>'
+    )
+
+
+def stacked_bars(path, title, labels, segments, unit):
+    """segments: list of (name, [values])."""
+    w, h, left, bottom, top = 640, 360, 80, 40, 40
+    plot_w, plot_h = w - left - 30, h - bottom - top
+    totals = [sum(vals[i] for _, vals in segments) for i in range(len(labels))]
+    vmax = max(totals) * 1.1 or 1.0
+    bar_w = plot_w / len(labels) * 0.6
+    out = [svg_header(w, h)]
+    out.append(f'<text x="{w/2}" y="20" text-anchor="middle" font-size="14">{title}</text>')
+    # y axis + gridlines
+    for frac in (0, 0.25, 0.5, 0.75, 1.0):
+        y = top + plot_h * (1 - frac)
+        out.append(
+            f'<line x1="{left}" y1="{y}" x2="{w-30}" y2="{y}" stroke="#ddd"/>'
+            f'<text x="{left-6}" y="{y+4}" text-anchor="end">{vmax*frac:.0f}</text>'
+        )
+    out.append(f'<text x="16" y="{top+plot_h/2}" transform="rotate(-90 16 {top+plot_h/2})" text-anchor="middle">{unit}</text>')
+    for i, label in enumerate(labels):
+        x = left + plot_w * (i + 0.5) / len(labels) - bar_w / 2
+        y = top + plot_h
+        for si, (name, vals) in enumerate(segments):
+            seg_h = plot_h * vals[i] / vmax
+            y -= seg_h
+            out.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" height="{seg_h:.1f}" '
+                f'fill="{COLORS[si % len(COLORS)]}"/>'
+            )
+        out.append(
+            f'<text x="{x+bar_w/2:.1f}" y="{top+plot_h+16}" text-anchor="middle">{label}</text>'
+        )
+    # legend
+    lx = left
+    for si, (name, _) in enumerate(segments):
+        out.append(
+            f'<rect x="{lx}" y="{h-18}" width="10" height="10" fill="{COLORS[si % len(COLORS)]}"/>'
+            f'<text x="{lx+14}" y="{h-9}">{name}</text>'
+        )
+        lx += 14 + 8 * len(name) + 20
+    out.append("</svg>")
+    with open(path, "w") as f:
+        f.write("".join(out))
+    print(f"wrote {path}")
+
+
+def series(path, title, settings):
+    """settings: list of (label, [(step, app, overhead)])."""
+    w, h, left, bottom, top = 720, 360, 70, 56, 40
+    plot_w, plot_h = w - left - 30, h - bottom - top
+    vmax = max(a + o for _, pts in settings for (_, a, o) in pts) * 1.1
+    nsteps = max(len(pts) for _, pts in settings)
+    out = [svg_header(w, h)]
+    out.append(f'<text x="{w/2}" y="20" text-anchor="middle" font-size="14">{title}</text>')
+    for frac in (0, 0.5, 1.0):
+        y = top + plot_h * (1 - frac)
+        out.append(
+            f'<line x1="{left}" y1="{y}" x2="{w-30}" y2="{y}" stroke="#ddd"/>'
+            f'<text x="{left-6}" y="{y+4}" text-anchor="end">{vmax*frac:.0f}</text>'
+        )
+    for si, (label, pts) in enumerate(settings):
+        color = COLORS[si % len(COLORS)]
+        bw = plot_w / (nsteps * (len(settings) + 1))
+        for step, app, overhead in pts:
+            x = left + plot_w * (step - 0.5) / nsteps + si * bw
+            ah = plot_h * app / vmax
+            oh = plot_h * overhead / vmax
+            out.append(
+                f'<rect x="{x:.1f}" y="{top+plot_h-ah:.1f}" width="{bw:.1f}" height="{ah:.1f}" fill="{color}"/>'
+            )
+            if overhead > 0:
+                out.append(
+                    f'<rect x="{x:.1f}" y="{top+plot_h-ah-oh:.1f}" width="{bw:.1f}" height="{oh:.1f}" '
+                    f'fill="{color}" opacity="0.45"/>'
+                )
+        out.append(
+            f'<rect x="{left + si*150}" y="{h-18}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{left + si*150 + 14}" y="{h-9}">{label} (pale = migration overhead)</text>'
+        )
+    out.append(
+        f'<text x="{left+plot_w/2}" y="{h-30}" text-anchor="middle">iteration step</text>'
+    )
+    out.append("</svg>")
+    with open(path, "w") as f:
+        f.write("".join(out))
+    print(f"wrote {path}")
+
+
+def main():
+    ok = True
+    fig6 = os.path.join(ROOT, "fig6.json")
+    if os.path.exists(fig6):
+        rows = json.load(open(fig6))
+        stacked_bars(
+            os.path.join(ROOT, "fig6.svg"),
+            "Fig. 6 — Ninja migration overhead on memtest",
+            [f'{r["array_gib"]} GiB' for r in rows],
+            [
+                ("migration", [r["migration_s"] for r in rows]),
+                ("hotplug", [r["hotplug_s"] for r in rows]),
+                ("link-up", [r["linkup_s"] for r in rows]),
+            ],
+            "seconds",
+        )
+    else:
+        ok = False
+    fig7 = os.path.join(ROOT, "fig7.json")
+    if os.path.exists(fig7):
+        rows = json.load(open(fig7))
+        labels, segments = [], [("application", []), ("migration", []), ("hotplug", []), ("link-up", [])]
+        for r in rows:
+            for variant in ("baseline", "proposed"):
+                labels.append(f'{r["bench"]} {variant[:4]}')
+                if variant == "baseline":
+                    segments[0][1].append(r["baseline_s"])
+                    for s in segments[1:]:
+                        s[1].append(0.0)
+                else:
+                    segments[0][1].append(r["app_s"])
+                    segments[1][1].append(r["migration_s"])
+                    segments[2][1].append(r["hotplug_s"])
+                    segments[3][1].append(r["linkup_s"])
+        stacked_bars(
+            os.path.join(ROOT, "fig7.svg"),
+            "Fig. 7 — NPB class D (64 procs): baseline vs proposed",
+            labels,
+            segments,
+            "seconds",
+        )
+    else:
+        ok = False
+    fig8 = os.path.join(ROOT, "fig8.json")
+    if os.path.exists(fig8):
+        settings = json.load(open(fig8))
+        series(
+            os.path.join(ROOT, "fig8.svg"),
+            "Fig. 8 — fallback and recovery migration (bcast+reduce)",
+            [
+                (
+                    f'{s["procs_per_vm"]} proc/VM',
+                    [(r["step"], r["app_s"], r["overhead_s"]) for r in s["iterations"]],
+                )
+                for s in settings
+            ],
+        )
+    else:
+        ok = False
+    if not ok:
+        print("some results/*.json missing — run scripts/reproduce.sh first", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

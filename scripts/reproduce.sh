@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper plus the extension
+# studies. Each binary asserts its claims and exits nonzero on a
+# regression; results (text + JSON) land in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in calibration table2 fig6 fig7 fig8 scalability ablation wan power checkpoint; do
+  echo "=== $bin ==="
+  cargo run --release -q -p ninja-bench --bin "$bin" | tee "results/$bin.txt"
+  echo
+done
+echo "all regenerators passed; see results/"

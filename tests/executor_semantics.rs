@@ -1,0 +1,178 @@
+//! Semantic verification with the real threaded executor: the same rank
+//! program, routed by the *actual* BTL state of the simulated runtime,
+//! computes identical results before and after a Ninja migration — and
+//! the per-message transport telemetry proves the interconnect really
+//! switched underneath it.
+
+use ninja_migration::{NinjaOrchestrator, World};
+use ninja_mpi::{run_job, Rank, RouteTable};
+use ninja_net::TransportKind;
+
+/// Snapshot the runtime's transport table into executor routes.
+fn routes_of(rt: &ninja_mpi::MpiRuntime) -> RouteTable {
+    let n = rt.layout().total_ranks();
+    RouteTable::from_fn(n, |a, b| rt.transport_between(a, b).expect("connected"))
+}
+
+/// The benchmark program of Fig. 8, as a real rank function: broadcast
+/// a vector, reduce it back, return the checksum.
+fn bcast_reduce_program(comm: &mut ninja_mpi::Comm) -> f64 {
+    let n = 1024usize;
+    let data = if comm.rank() == 0 {
+        (0..n).map(|i| i as f64).collect()
+    } else {
+        vec![]
+    };
+    let mine = comm.bcast(0, data, 1);
+    let doubled: Vec<f64> = mine.iter().map(|x| x * 2.0).collect();
+    match comm.reduce_sum(0, doubled, 2) {
+        Some(sum) => sum.iter().sum::<f64>(),
+        None => -1.0,
+    }
+}
+
+#[test]
+fn same_answer_on_both_sides_of_a_migration() {
+    let mut w = World::agc(777);
+    let vms = w.boot_ib_vms(4);
+    let mut rt = w.start_job(vms, 2); // 8 ranks: sm within VMs, openib across
+
+    // Before: run the real program over the IB-era routes.
+    let (before, census_before) = run_job(8, routes_of(&rt), bcast_reduce_program);
+    assert!(census_before.count(TransportKind::OpenIb) > 0, "IB in use");
+    assert_eq!(census_before.count(TransportKind::Tcp), 0);
+    assert!(
+        census_before.count(TransportKind::SharedMemory) > 0,
+        "co-located ranks use sm"
+    );
+
+    // Ninja migration to the Ethernet cluster.
+    let dsts: Vec<_> = (0..4).map(|i| w.eth_node(i)).collect();
+    NinjaOrchestrator::default()
+        .migrate(&mut w, &mut rt, &dsts)
+        .unwrap();
+
+    // After: identical program, new routes.
+    let (after, census_after) = run_job(8, routes_of(&rt), bcast_reduce_program);
+    assert_eq!(census_after.count(TransportKind::OpenIb), 0, "IB gone");
+    assert!(census_after.count(TransportKind::Tcp) > 0, "TCP now");
+
+    // The application-visible results are bit-identical.
+    assert_eq!(before, after);
+    // Rank 0 got the reduction: sum over ranks of 2*sum(0..1024).
+    let expect = 8.0 * 2.0 * (1023.0 * 1024.0 / 2.0);
+    assert_eq!(before[0], expect);
+    // Same communication pattern, different wires.
+    assert_eq!(census_before.total(), census_after.total());
+}
+
+#[test]
+fn alltoall_survives_round_trip() {
+    let mut w = World::agc(778);
+    let vms = w.boot_ib_vms(4);
+    let mut rt = w.start_job(vms, 1);
+    let orch = NinjaOrchestrator::default();
+
+    let program = |comm: &mut ninja_mpi::Comm| {
+        let n = comm.size();
+        let chunks: Vec<Vec<f64>> = (0..n)
+            .map(|j| vec![(comm.rank() * 100 + j) as f64])
+            .collect();
+        let got = comm.alltoall(chunks, 5);
+        got.iter().map(|c| c[0]).sum::<f64>()
+    };
+
+    let (a, _) = run_job(4, routes_of(&rt), program);
+    let eth: Vec<_> = (0..4).map(|i| w.eth_node(i)).collect();
+    let ib: Vec<_> = (0..4).map(|i| w.ib_node(i)).collect();
+    orch.migrate(&mut w, &mut rt, &eth).unwrap();
+    let (b, _) = run_job(4, routes_of(&rt), program);
+    orch.migrate(&mut w, &mut rt, &ib).unwrap();
+    let (c, _) = run_job(4, routes_of(&rt), program);
+
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn executor_telemetry_matches_runtime_census() {
+    // The number of distinct transports in the executor's telemetry
+    // matches the runtime's connection census.
+    let mut w = World::agc(779);
+    let vms = w.boot_ib_vms(2);
+    let rt = w.start_job(vms, 4); // 8 ranks over 2 VMs
+    let census = rt.kind_census();
+    let (_, traffic) = run_job(8, routes_of(&rt), |comm| {
+        comm.allreduce_sum(vec![comm.rank() as f64], 9)
+    });
+    // Runtime says: sm pairs + openib pairs. The traffic must show both
+    // and nothing else (allreduce touches every tree edge).
+    assert!(
+        census
+            .get(&TransportKind::SharedMemory)
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+    assert!(census.get(&TransportKind::OpenIb).copied().unwrap_or(0) > 0);
+    assert!(traffic.count(TransportKind::SharedMemory) > 0);
+    assert!(traffic.count(TransportKind::OpenIb) > 0);
+    assert_eq!(traffic.count(TransportKind::Tcp), 0);
+    let _ = Rank(0);
+}
+
+#[test]
+fn distributed_cg_solves_identically_across_migration() {
+    use ninja_workloads::{solve_cg, solve_cg_sequential, CgProblem};
+    let problem = CgProblem {
+        n: 64,
+        iterations: 40,
+    };
+    let reference = solve_cg_sequential(problem);
+
+    let mut w = World::agc(780);
+    let vms = w.boot_ib_vms(4);
+    let mut rt = w.start_job(vms, 1);
+    let before = solve_cg(problem, 4, routes_of(&rt));
+    assert!(before.traffic.count(TransportKind::OpenIb) > 0);
+
+    let dsts: Vec<_> = (0..4).map(|i| w.eth_node(i)).collect();
+    NinjaOrchestrator::default()
+        .migrate(&mut w, &mut rt, &dsts)
+        .unwrap();
+    let after = solve_cg(problem, 4, routes_of(&rt));
+    assert!(after.traffic.count(TransportKind::Tcp) > 0);
+    assert_eq!(after.traffic.count(TransportKind::OpenIb), 0);
+
+    assert_eq!(
+        before.x, after.x,
+        "solver unaffected by the interconnect swap"
+    );
+    for (a, b) in before.x.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+}
+
+#[test]
+fn distributed_fft_survives_migration() {
+    use ninja_workloads::{distributed_fft2d, naive_dft2d};
+    let n = 16usize;
+    let re: Vec<f64> = (0..n * n).map(|i| ((i * 3 % 17) as f64) - 8.0).collect();
+    let im: Vec<f64> = vec![0.0; n * n];
+    let (expect_re, expect_im) = naive_dft2d(&re, &im, n);
+
+    let mut w = World::agc(781);
+    let vms = w.boot_ib_vms(4);
+    let mut rt = w.start_job(vms, 1);
+    let before = distributed_fft2d(re.clone(), im.clone(), n, 4, routes_of(&rt));
+    let dsts: Vec<_> = (0..4).map(|i| w.eth_node(i)).collect();
+    NinjaOrchestrator::default()
+        .migrate(&mut w, &mut rt, &dsts)
+        .unwrap();
+    let after = distributed_fft2d(re, im, n, 4, routes_of(&rt));
+    assert_eq!(before, after, "FFT unaffected by the interconnect swap");
+    for i in 0..n * n {
+        assert!((after.0[i] - expect_re[i]).abs() < 1e-8 * (1.0 + expect_re[i].abs()));
+        assert!((after.1[i] - expect_im[i]).abs() < 1e-8 * (1.0 + expect_im[i].abs()));
+    }
+}
