@@ -24,9 +24,8 @@ use ninja_mpi::{BtlRegistry, MpiConfig, Rank};
 use ninja_net::TransportKind;
 use ninja_sim::{Bandwidth, Bytes};
 use ninja_vmm::{plan_precopy, GuestMemory, MigrationConfig};
-use serde::Serialize;
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct AblationResults {
     compression_on_s: Vec<f64>,
     compression_off_s: Vec<f64>,
@@ -44,6 +43,23 @@ struct AblationResults {
     tcp_migration_s: f64,
     rdma_migration_s: f64,
 }
+ninja_bench::impl_to_json!(AblationResults {
+    compression_on_s,
+    compression_off_s,
+    flag_on_transport,
+    flag_off_transport,
+    flag_on_iter_s,
+    flag_off_iter_s,
+    exclusivity_iter_s,
+    forced_tcp_iter_s,
+    paused_rounds,
+    running_rounds,
+    paused_wire_gib,
+    running_wire_gib,
+    collective_crossover,
+    tcp_migration_s,
+    rdma_migration_s
+});
 
 fn ablation_compression(results: &mut AblationResults) -> bool {
     println!("--- 1. zero/uniform-page compression ---");

@@ -16,9 +16,7 @@ use ninja_migration::{NinjaOrchestrator, World};
 use ninja_sim::Bytes;
 use ninja_vmm::SnapshotStore;
 use ninja_workloads::{install_memory_profile, MemoryProfile};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     footprint_gib: u64,
     save_s: f64,
@@ -27,6 +25,14 @@ struct Row {
     restore_s: f64,
     restart_total_s: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    footprint_gib,
+    save_s,
+    checkpoint_total_s,
+    image_gib,
+    restore_s,
+    restart_total_s
+});
 
 fn run(footprint_gib: u64, seed: u64) -> Row {
     let mut w = World::agc(seed);

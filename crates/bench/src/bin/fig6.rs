@@ -14,9 +14,7 @@ use ninja_bench::{claim, finish, render_stacked_bars, render_table, two_ib_clust
 use ninja_migration::{NinjaOrchestrator, TriggerReason};
 use ninja_sim::Bytes;
 use ninja_workloads::{run_workload, Memtest};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     array_gib: u64,
     migration_s: f64,
@@ -25,6 +23,14 @@ struct Row {
     total_s: f64,
     wire_gib: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    array_gib,
+    migration_s,
+    hotplug_s,
+    linkup_s,
+    total_s,
+    wire_gib
+});
 
 fn run_one(array: Bytes, seed: u64) -> Row {
     let mut w = two_ib_clusters(seed);

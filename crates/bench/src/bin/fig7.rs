@@ -14,9 +14,7 @@ use ninja_bench::{claim, finish, render_table, two_ib_clusters, write_json};
 use ninja_migration::{CloudScheduler, NinjaOrchestrator, TriggerReason};
 use ninja_sim::SimDuration;
 use ninja_workloads::{run_workload, Npb, NpbKind};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     bench: String,
     baseline_s: f64,
@@ -27,6 +25,16 @@ struct Row {
     linkup_s: f64,
     footprint_gib_per_vm: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    bench,
+    baseline_s,
+    proposed_s,
+    app_s,
+    migration_s,
+    hotplug_s,
+    linkup_s,
+    footprint_gib_per_vm
+});
 
 fn run_kind(kind: NpbKind, seed: u64) -> Row {
     let npb = Npb::class_d(kind);

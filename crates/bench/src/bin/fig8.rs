@@ -14,22 +14,30 @@
 use ninja_bench::{claim, finish, render_stacked_bars, render_table, write_json};
 use ninja_migration::NinjaOrchestrator;
 use ninja_workloads::{run_with_step_plan, scenarios, RunRecord};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct IterRow {
     step: u32,
     app_s: f64,
     overhead_s: f64,
 }
+ninja_bench::impl_to_json!(IterRow {
+    step,
+    app_s,
+    overhead_s
+});
 
-#[derive(Serialize)]
 struct Setting {
     procs_per_vm: u32,
     iterations: Vec<IterRow>,
     phase_means: [f64; 4],
     overheads: Vec<f64>,
 }
+ninja_bench::impl_to_json!(Setting {
+    procs_per_vm,
+    iterations,
+    phase_means,
+    overheads
+});
 
 fn phase_of(step: u32) -> usize {
     match step {

@@ -13,9 +13,7 @@
 use ninja_bench::{claim, finish, render_table, write_json};
 use ninja_migration::{NinjaOrchestrator, PlacementPlanner, PlacementPolicy, PowerModel, World};
 use ninja_workloads::{BcastReduce, IterativeWorkload};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     policy: String,
     hosts: usize,
@@ -24,6 +22,14 @@ struct Row {
     joules_per_iter: f64,
     migration_overhead_s: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    policy,
+    hosts,
+    watts,
+    iter_s,
+    joules_per_iter,
+    migration_overhead_s
+});
 
 fn run(policy: PlacementPolicy, label: &str, seed: u64) -> Row {
     let mut w = World::agc(seed);

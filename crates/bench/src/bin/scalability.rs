@@ -17,9 +17,7 @@ use ninja_bench::{claim, finish, render_table, two_ib_clusters, write_json};
 use ninja_migration::NinjaOrchestrator;
 use ninja_sim::Bytes;
 use ninja_workloads::{install_memory_profile, MemoryProfile};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     vms: usize,
     spread_coord_s: f64,
@@ -28,6 +26,14 @@ struct Row {
     spread_linkup_s: f64,
     funneled_migration_s: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    vms,
+    spread_coord_s,
+    spread_hotplug_s,
+    spread_migration_s,
+    spread_linkup_s,
+    funneled_migration_s
+});
 
 fn run(vms_n: usize, funnel: bool, seed: u64) -> ninja_migration::NinjaReport {
     let mut w = two_ib_clusters(seed);

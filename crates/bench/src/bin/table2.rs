@@ -12,9 +12,7 @@ use ninja_cluster::{DeviceClass, HotplugOp};
 use ninja_migration::{NinjaOrchestrator, World};
 use ninja_net::{calib, LinkFsm};
 use ninja_sim::{DurationSamples, SimRng, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     combo: String,
     hotplug_s: f64,
@@ -22,6 +20,13 @@ struct Row {
     paper_hotplug_s: f64,
     paper_linkup_s: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    combo,
+    hotplug_s,
+    linkup_s,
+    paper_hotplug_s,
+    paper_linkup_s
+});
 
 /// Best-of-three sample of a full hotplug (detach src-class device +
 /// attach dst-class device), without migration noise (self-migration).

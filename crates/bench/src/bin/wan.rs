@@ -15,9 +15,7 @@ use ninja_cluster::{DataCenterBuilder, FabricKind, NodeSpec};
 use ninja_migration::{NinjaOrchestrator, World};
 use ninja_sim::{Bandwidth, Bytes, SimDuration};
 use ninja_workloads::{install_memory_profile, MemoryProfile};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     wan: String,
     gbps: f64,
@@ -26,6 +24,14 @@ struct Row {
     hotplug_s: f64,
     total_s: f64,
 }
+ninja_bench::impl_to_json!(Row {
+    wan,
+    gbps,
+    latency_ms,
+    migration_s,
+    hotplug_s,
+    total_s
+});
 
 fn geo_world(wan_gbps: f64, latency_ms: u64, seed: u64) -> World {
     let mut b = DataCenterBuilder::new();

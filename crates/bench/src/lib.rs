@@ -16,12 +16,40 @@
 //! wins, what is constant, what grows) so a regression in the model
 //! fails the harness loudly.
 
-use serde::Serialize;
 use std::path::Path;
 
 /// The Fig. 6 / 7 testbed builder (re-exported from
 /// `ninja_workloads::scenarios` so every consumer uses the same setup).
 pub use ninja_workloads::two_ib_clusters;
+
+/// Re-exported so `impl_to_json!` users need only depend on
+/// `ninja_bench`.
+pub use ninja_sim::{Json, ToJson};
+
+/// Derive a [`ToJson`] impl for a plain result struct by listing its
+/// fields — the in-repo stand-in for `#[derive(Serialize)]`:
+///
+/// ```
+/// struct Row {
+///     vms: usize,
+///     total_s: f64,
+/// }
+/// ninja_bench::impl_to_json!(Row { vms, total_s });
+/// let j = ninja_bench::ToJson::to_json(&Row { vms: 4, total_s: 1.5 });
+/// assert_eq!(j["vms"].as_u64(), Some(4));
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::obj(vec![
+                    $((stringify!($field), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
 
 /// Render an aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -58,22 +86,17 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Write a serializable result to `results/<name>.json` (relative to the
 /// workspace root if it exists, else the current directory).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = if Path::new("results").exists() || std::fs::create_dir_all("results").is_ok() {
         "results"
     } else {
         "."
     };
     let path = format!("{dir}/{name}.json");
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {path}: {e}");
-            } else {
-                println!("(wrote {path})");
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, value.to_json().to_string_pretty()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("(wrote {path})");
     }
 }
 

@@ -1,20 +1,34 @@
 //! `ninja` — command-line driver for the Ninja migration simulator.
 //!
 //! ```text
+//! ninja migrate    [--vms N] [--procs P] [--to eth|ib] [--seed S] [--json]
 //! ninja fallback   [--vms N] [--procs P] [--seed S] [--json] [--trace]
 //! ninja roundtrip  [--vms N] [--procs P] [--seed S] [--json] [--trace]
 //! ninja selfmig    [--vms N] [--seed S] [--json]
 //! ninja checkpoint [--vms N] [--footprint-gib G] [--seed S] [--json]
 //! ninja fig8       [--ppv P] [--seed S]
 //! ninja evacuate   [--vms N] [--seed S] [--json]
+//! ninja trace summarize FILE
 //! ```
 //!
-//! `--chrome-trace FILE` writes the run's phase spans as Chrome
-//! trace-event JSON (open in chrome://tracing or Perfetto).
+//! Telemetry flags (any run command):
+//!
+//! - `--trace-out FILE` (alias `--chrome-trace FILE`) writes the run's
+//!   phase spans as Chrome trace-event JSON (open in chrome://tracing
+//!   or <https://ui.perfetto.dev>).
+//! - `--metrics-out FILE` writes the run's metric registry in
+//!   Prometheus text exposition format (or as a JSON document when
+//!   FILE ends in `.json`).
+//! - `--trace-cap N` bounds the in-memory trace ring buffer; dropped
+//!   records are counted in `ninja_trace_dropped_records`.
+//!
+//! `ninja trace summarize FILE` reads a previously written Chrome
+//! trace file back and prints a per-(component, span) latency table.
 //!
 //! Every run is deterministic in `--seed`.
 
 use ninja_migration::{NinjaOrchestrator, NinjaReport, World};
+use ninja_sim::{Json, ToJson};
 use ninja_vmm::SnapshotStore;
 use std::process::exit;
 
@@ -24,32 +38,38 @@ struct Args {
     seed: u64,
     footprint_gib: u64,
     ppv: u32,
+    to: String,
     json: bool,
     trace: bool,
-    chrome_trace: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    trace_cap: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ninja <fallback|roundtrip|selfmig|checkpoint|fig8|evacuate> \
-         [--vms N] [--procs P] [--ppv P] [--footprint-gib G] [--seed S] [--json] [--trace]"
+        "usage: ninja <migrate|fallback|roundtrip|selfmig|checkpoint|fig8|evacuate> \
+         [--vms N] [--procs P] [--ppv P] [--to eth|ib] [--footprint-gib G] [--seed S] \
+         [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N]\n\
+         \x20      ninja trace summarize FILE"
     );
     exit(2)
 }
 
-fn parse(mut argv: impl Iterator<Item = String>) -> (String, Args) {
-    let cmd = argv.next().unwrap_or_else(|| usage());
+fn parse(mut it: impl Iterator<Item = String>) -> Args {
     let mut args = Args {
         vms: 4,
         procs: 1,
         seed: 2013,
         footprint_gib: 8,
         ppv: 1,
+        to: "eth".into(),
         json: false,
         trace: false,
-        chrome_trace: None,
+        trace_out: None,
+        metrics_out: None,
+        trace_cap: None,
     };
-    let mut it = argv;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> u64 {
             it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -63,10 +83,21 @@ fn parse(mut argv: impl Iterator<Item = String>) -> (String, Args) {
             "--ppv" => args.ppv = value("--ppv") as u32,
             "--seed" => args.seed = value("--seed"),
             "--footprint-gib" => args.footprint_gib = value("--footprint-gib"),
+            "--trace-cap" => args.trace_cap = Some(value("--trace-cap") as usize),
             "--json" => args.json = true,
             "--trace" => args.trace = true,
-            "--chrome-trace" => {
-                args.chrome_trace = Some(it.next().unwrap_or_else(|| usage()));
+            "--to" => {
+                args.to = it.next().unwrap_or_else(|| usage());
+                if args.to != "eth" && args.to != "ib" {
+                    eprintln!("--to must be eth or ib");
+                    usage()
+                }
+            }
+            "--trace-out" | "--chrome-trace" => {
+                args.trace_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -75,15 +106,12 @@ fn parse(mut argv: impl Iterator<Item = String>) -> (String, Args) {
         eprintln!("--vms must be 1..=8 and --procs 1..=8 (AGC testbed limits)");
         exit(2);
     }
-    (cmd, args)
+    args
 }
 
 fn emit(report: &NinjaReport, args: &Args, world: &World) {
     if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(report).expect("serializable")
-        );
+        println!("{}", report.to_json().to_string_pretty());
     } else {
         println!("{report}");
     }
@@ -92,21 +120,110 @@ fn emit(report: &NinjaReport, args: &Args, world: &World) {
     }
 }
 
+fn write_file(what: &str, path: &str, contents: String) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("(wrote {what} to {path})"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// `ninja trace summarize FILE` — read a Chrome trace file back and
+/// print per-(component, span) duration statistics for its complete
+/// ("X") events.
+fn trace_cmd(mut argv: impl Iterator<Item = String>) {
+    match argv.next().as_deref() {
+        Some("summarize") => {}
+        _ => usage(),
+    }
+    let path = argv.next().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("could not read {path}: {e}");
+        exit(1)
+    });
+    let json = ninja_sim::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not valid JSON: {e}");
+        exit(1)
+    });
+    let events = json["traceEvents"].as_array().unwrap_or_else(|| {
+        eprintln!("{path}: no traceEvents array (is this a Chrome trace file?)");
+        exit(1)
+    });
+    // (component, span) -> (count, total, min, max), durations in
+    // seconds (Chrome events carry microseconds).
+    let mut groups: std::collections::BTreeMap<(String, String), (u64, f64, f64, f64)> =
+        Default::default();
+    let mut instants = 0u64;
+    for ev in events {
+        if ev["ph"].as_str() != Some("X") {
+            instants += 1;
+            continue;
+        }
+        let key = (
+            ev["cat"].as_str().unwrap_or("?").to_string(),
+            ev["name"].as_str().unwrap_or("?").to_string(),
+        );
+        let dur = ev["dur"].as_f64().unwrap_or(0.0) / 1e6;
+        let g = groups.entry(key).or_insert((0, 0.0, f64::INFINITY, 0.0));
+        g.0 += 1;
+        g.1 += dur;
+        g.2 = g.2.min(dur);
+        g.3 = g.3.max(dur);
+    }
+    println!(
+        "{:<10} {:<24} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "component", "span", "count", "total_s", "min_s", "mean_s", "max_s"
+    );
+    for ((cat, name), (count, total, min, max)) in &groups {
+        println!(
+            "{:<10} {:<24} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            cat,
+            name,
+            count,
+            total,
+            min,
+            total / *count as f64,
+            max
+        );
+    }
+    if instants > 0 {
+        println!("({instants} instant events not summarized)");
+    }
+}
+
 fn main() {
-    let (cmd, args) = parse(std::env::args().skip(1));
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    if cmd == "trace" {
+        trace_cmd(argv);
+        return;
+    }
+    let args = parse(argv);
     let mut world = World::agc(args.seed);
+    world.trace.set_capacity(args.trace_cap);
     let orch = NinjaOrchestrator::default();
     match cmd.as_str() {
-        "fallback" => {
+        // `migrate` is the telemetry-first entry point: one Ninja
+        // migration with the destination fabric chosen by `--to`.
+        // `fallback` is the historical alias for `migrate --to eth`.
+        "migrate" | "fallback" => {
             let vms = world.boot_ib_vms(args.vms);
             let mut rt = world.start_job(vms, args.procs);
-            let dsts: Vec<_> = (0..args.vms).map(|i| world.eth_node(i)).collect();
+            let dsts: Vec<_> = (0..args.vms)
+                .map(|i| {
+                    if cmd == "fallback" || args.to == "eth" {
+                        world.eth_node(i)
+                    } else {
+                        world.ib_node(i)
+                    }
+                })
+                .collect();
             let report = orch
                 .migrate(&mut world, &mut rt, &dsts)
                 .unwrap_or_else(|e| {
                     eprintln!("migration failed: {e}");
                     exit(1)
                 });
+            world.record_wire_metrics(&rt);
             emit(&report, &args, &world);
         }
         "roundtrip" => {
@@ -116,10 +233,14 @@ fn main() {
             let ib: Vec<_> = (0..args.vms).map(|i| world.ib_node(i)).collect();
             let fallback = orch.migrate(&mut world, &mut rt, &eth).expect("fallback");
             let recovery = orch.migrate(&mut world, &mut rt, &ib).expect("recovery");
+            world.record_wire_metrics(&rt);
             if args.json {
                 println!(
                     "{}",
-                    serde_json::json!({ "fallback": fallback, "recovery": recovery })
+                    Json::obj(vec![
+                        ("fallback", fallback.to_json()),
+                        ("recovery", recovery.to_json()),
+                    ])
                 );
             } else {
                 println!("--- fallback ---\n{fallback}\n--- recovery ---\n{recovery}");
@@ -135,6 +256,7 @@ fn main() {
             let report = orch
                 .migrate(&mut world, &mut rt, &same)
                 .expect("self-migration");
+            world.record_wire_metrics(&rt);
             emit(&report, &args, &world);
         }
         "checkpoint" => {
@@ -152,8 +274,15 @@ fn main() {
             let rs = orch
                 .restart(&mut world, &mut rt, &handle, &store, &dsts)
                 .expect("restart");
+            world.record_wire_metrics(&rt);
             if args.json {
-                println!("{}", serde_json::json!({ "checkpoint": ck, "restart": rs }));
+                println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("checkpoint", ck.to_json()),
+                        ("restart", rs.to_json()),
+                    ])
+                );
             } else {
                 println!(
                     "checkpoint: coordination {} detach {} save {} attach {} linkup {} (total {:.2}s)",
@@ -209,11 +338,10 @@ fn main() {
                 eprintln!("evacuation failed: {e}");
                 exit(1)
             });
+            world.record_wire_metrics(&job_a);
+            world.record_wire_metrics(&job_b);
             if args.json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&report).expect("serializable")
-                );
+                println!("{}", report.to_json().to_string_pretty());
             } else {
                 println!(
                     "evacuated {} jobs ({} VMs) in {:.1}s",
@@ -240,13 +368,24 @@ fn main() {
                 let report = orch.migrate(&mut world, &mut rt, &dsts).expect("phase");
                 println!("== {label} ==\n{report}\n");
             }
+            world.record_wire_metrics(&rt);
         }
         _ => usage(),
     }
-    if let Some(path) = &args.chrome_trace {
-        match std::fs::write(path, world.trace.to_chrome_json()) {
-            Ok(()) => eprintln!("(wrote {path})"),
-            Err(e) => eprintln!("could not write {path}: {e}"),
+    if let Some(path) = &args.trace_out {
+        write_file("Chrome trace", path, world.trace.to_chrome_json());
+    }
+    if let Some(path) = &args.metrics_out {
+        // Prometheus text exposition by default; a `.json` suffix
+        // selects the JSON document form instead.
+        if path.ends_with(".json") {
+            write_file(
+                "metrics JSON",
+                path,
+                world.metrics.to_json().to_string_pretty(),
+            );
+        } else {
+            write_file("Prometheus metrics", path, world.metrics.to_prometheus());
         }
     }
 }

@@ -13,13 +13,12 @@ use crate::report::NinjaReport;
 use crate::world::World;
 use ninja_cluster::{ClusterId, NodeId};
 use ninja_mpi::MpiRuntime;
-use ninja_sim::SimTime;
+use ninja_sim::{Json, SimTime, ToJson};
 use ninja_symvirt::SymVirtError;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Outcome of an evacuation drill.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DrillReport {
     /// Jobs moved.
     pub jobs: usize,
@@ -29,6 +28,17 @@ pub struct DrillReport {
     pub total_seconds: f64,
     /// Per-job migration reports, in evacuation order.
     pub migrations: Vec<NinjaReport>,
+}
+
+impl ToJson for DrillReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", Json::from(self.jobs)),
+            ("vms", Json::from(self.vms)),
+            ("total_seconds", Json::from(self.total_seconds)),
+            ("migrations", self.migrations.to_json()),
+        ])
+    }
 }
 
 /// Errors from drill planning.

@@ -19,10 +19,9 @@ use crate::report::SimSecs;
 use crate::world::World;
 use ninja_cluster::NodeId;
 use ninja_mpi::MpiRuntime;
-use ninja_sim::{SimDuration, SimTime};
+use ninja_sim::{Json, SimDuration, SimTime, SpanBuilder, ToJson};
 use ninja_symvirt::{Controller, Coordinator, SymVirtError};
 use ninja_vmm::{SnapshotId, SnapshotStore, VmId};
-use serde::Serialize;
 
 /// A completed coordinated checkpoint: one snapshot per VM, in job
 /// (hostlist) order.
@@ -37,7 +36,7 @@ pub struct CheckpointHandle {
 }
 
 /// Overhead breakdown of a coordinated checkpoint.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointReport {
     /// CRCP quiesce + IB release + SymVirt handshakes.
     pub coordination: SimSecs,
@@ -60,8 +59,22 @@ impl CheckpointReport {
     }
 }
 
+impl ToJson for CheckpointReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("coordination", self.coordination.to_json()),
+            ("detach", self.detach.to_json()),
+            ("save", self.save.to_json()),
+            ("attach", self.attach.to_json()),
+            ("linkup", self.linkup.to_json()),
+            ("total", Json::from(self.total())),
+            ("image_bytes", Json::from(self.image_bytes)),
+        ])
+    }
+}
+
 /// Overhead breakdown of a restart from checkpoint.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RestartReport {
     /// Parallel image-restore phase (NFS read; max over VMs).
     pub restore: SimSecs,
@@ -71,8 +84,7 @@ pub struct RestartReport {
     pub linkup: SimSecs,
     /// Transport the restarted job bound.
     pub transport_after: Option<String>,
-    /// New VM ids, aligned with the old job order.
-    #[serde(skip)]
+    /// New VM ids, aligned with the old job order (not serialized).
     pub new_vms: Vec<VmId>,
 }
 
@@ -80,6 +92,18 @@ impl RestartReport {
     /// Total time from restart request to the job computing again.
     pub fn total(&self) -> f64 {
         self.restore.0 + self.attach.0 + self.linkup.0
+    }
+}
+
+impl ToJson for RestartReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("restore", self.restore.to_json()),
+            ("attach", self.attach.to_json()),
+            ("linkup", self.linkup.to_json()),
+            ("total", Json::from(self.total())),
+            ("transport_after", Json::from(self.transport_after.clone())),
+        ])
     }
 }
 
@@ -93,12 +117,7 @@ impl NinjaOrchestrator {
         store: &mut SnapshotStore,
     ) -> Result<(CheckpointHandle, CheckpointReport), SymVirtError> {
         let vms = Coordinator::vms_of(rt);
-        world.trace.phase(
-            world.clock,
-            "ninja",
-            "checkpoint.start",
-            format!("{} VMs", vms.len()),
-        );
+        let t_start = world.clock;
 
         // Guest side: consistent state, IB released, VMs paused.
         let env = world.comm_env();
@@ -136,11 +155,11 @@ impl NinjaOrchestrator {
             save_max = save_max.max(dur);
         }
         world.advance(save_max);
-        world.trace.phase(
-            world.clock,
-            "ninja",
-            "checkpoint.saved",
-            format!("{} images, {}", snapshots.len(), store.stored_bytes()),
+        world.trace.record_span(
+            SpanBuilder::new("ninja", "save", taken_at)
+                .label("images", snapshots.len().to_string())
+                .label("stored_bytes", store.stored_bytes().get().to_string())
+                .end(world.clock),
         );
 
         // Re-attach, resume, wait out link training, rebuild modules.
@@ -165,9 +184,13 @@ impl NinjaOrchestrator {
             }
         }
         Coordinator.continue_callback(rt, &world.pool, &mut world.dc, world.clock)?;
-        world
-            .trace
-            .phase(world.clock, "ninja", "checkpoint.end", "");
+        world.trace.record_spans(ctl.take_spans());
+        world.trace.record_span(
+            SpanBuilder::new("ninja", "checkpoint", t_start)
+                .label("vms", vms.len().to_string())
+                .end(world.clock),
+        );
+        world.metrics.inc("ninja_checkpoints_total", &[], 1);
 
         let image_bytes: u64 = snapshots
             .iter()
@@ -205,12 +228,7 @@ impl NinjaOrchestrator {
         if dsts.is_empty() {
             return Err(SymVirtError::EmptyHostlist);
         }
-        world.trace.phase(
-            world.clock,
-            "ninja",
-            "restart.start",
-            format!("{} images", handle.snapshots.len()),
-        );
+        let t_start = world.clock;
 
         // Restore every image in parallel: boot new VMs in SymWait.
         let mut restore_max = SimDuration::ZERO;
@@ -252,12 +270,14 @@ impl NinjaOrchestrator {
         rt.restart_on(new_vms.clone(), &world.pool, &mut world.dc, world.clock)
             .map_err(SymVirtError::Runtime)?;
         let transport_after = rt.uniform_network_kind().map(|k| k.to_string());
-        world.trace.phase(
-            world.clock,
-            "ninja",
-            "restart.end",
-            format!("transport {:?}", transport_after),
-        );
+        world.trace.record_spans(ctl.take_spans());
+        let mut span = SpanBuilder::new("ninja", "restart", t_start)
+            .label("images", handle.snapshots.len().to_string());
+        if let Some(t) = &transport_after {
+            span = span.label("transport_after", t.clone());
+        }
+        world.trace.record_span(span.end(world.clock));
+        world.metrics.inc("ninja_restarts_total", &[], 1);
 
         Ok(RestartReport {
             restore: restore_max.into(),

@@ -57,7 +57,7 @@ pub mod world;
 pub use drill::{evacuate_cluster, plan_evacuation, DrillError, DrillReport};
 pub use ft::{CheckpointHandle, CheckpointReport, RestartReport};
 pub use metrics::{MigrationLedger, PhaseStats};
-pub use orchestrator::NinjaOrchestrator;
+pub use orchestrator::{NinjaOrchestrator, PHASE_NAMES};
 pub use placement::{PlacementPlan, PlacementPlanner, PlacementPolicy, PowerModel};
 pub use report::{NinjaReport, SimSecs};
 pub use scheduler::{CloudScheduler, Trigger, TriggerReason};

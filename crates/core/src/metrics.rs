@@ -8,16 +8,25 @@
 //! does the CSV for the plotting pipeline look like.
 
 use crate::report::NinjaReport;
-use ninja_sim::Summary;
+use ninja_sim::{Json, MetricsRegistry, Summary, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Per-phase distribution over a set of migrations.
+///
+/// Carries both granularities of the hotplug cost: the raw `detach`
+/// and `attach` samples *and* their per-migration sum `hotplug`, so
+/// consumers never have to re-derive one from the other (and so the
+/// CSV, JSON, and Prometheus exports can all agree).
 #[derive(Debug, Clone, Default)]
 pub struct PhaseStats {
     /// Coordination (CRCP + release + SymVirt).
     pub coordination: Summary,
-    /// Hotplug (detach + attach).
+    /// `device_del` phase alone.
+    pub detach: Summary,
+    /// `device_add` phase alone.
+    pub attach: Summary,
+    /// Hotplug (detach + attach) — the paper's combined figure.
     pub hotplug: Summary,
     /// Live-migration transfer.
     pub migration: Summary,
@@ -75,6 +84,8 @@ impl MigrationLedger {
         let mut s = PhaseStats::default();
         for r in &self.reports {
             s.coordination.record(r.coordination.0);
+            s.detach.record(r.detach.0);
+            s.attach.record(r.attach.0);
             s.hotplug.record(r.hotplug());
             s.migration.record(r.migration.0);
             s.linkup.record(r.linkup.0);
@@ -97,19 +108,42 @@ impl MigrationLedger {
     }
 
     /// Render as CSV (one row per migration) for external plotting.
+    ///
+    /// Schema (all durations in seconds, Fig. 4 phase order):
+    ///
+    /// | column           | meaning                                          |
+    /// |------------------|--------------------------------------------------|
+    /// | `index`          | 0-based migration number within the scenario     |
+    /// | `vms`            | VMs moved in this migration                      |
+    /// | `coordination_s` | CRCP quiesce + resource release + handshakes     |
+    /// | `detach_s`       | `device_del` phase (parallel max across VMs)     |
+    /// | `migration_s`    | live-migration transfer (until last VM lands)    |
+    /// | `attach_s`       | `device_add` phase (parallel max across VMs)     |
+    /// | `hotplug_s`      | `detach_s + attach_s` (the paper's figure)       |
+    /// | `linkup_s`       | IB link training wait after resume               |
+    /// | `total_s`        | coordination + detach + migration + attach + linkup |
+    /// | `wire_bytes`     | bytes put on the wire by the transfers           |
+    /// | `from`, `to`     | uniform transport before/after (`mixed` if not)  |
+    /// | `reconstructed`  | whether BTL modules were rebuilt                 |
+    ///
+    /// `hotplug_s` is derived — it always equals `detach_s + attach_s`
+    /// exactly, and the JSON ([`NinjaReport::to_json`]) and Prometheus
+    /// ([`MigrationLedger::to_metrics`]) exports use the same
+    /// definition.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,vms,coordination_s,detach_s,migration_s,attach_s,linkup_s,total_s,wire_bytes,from,to,reconstructed\n",
+            "index,vms,coordination_s,detach_s,migration_s,attach_s,hotplug_s,linkup_s,total_s,wire_bytes,from,to,reconstructed\n",
         );
         for (i, r) in self.reports.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
                 i,
                 r.vm_count,
                 r.coordination.0,
                 r.detach.0,
                 r.migration.0,
                 r.attach.0,
+                r.hotplug(),
                 r.linkup.0,
                 r.total(),
                 r.wire_bytes,
@@ -119,6 +153,49 @@ impl MigrationLedger {
             ));
         }
         out
+    }
+
+    /// Fold the ledger into a fresh [`MetricsRegistry`] using the same
+    /// metric names the orchestrator records live
+    /// (`ninja_migrations_total`, `ninja_wire_bytes_total`,
+    /// `ninja_phase_duration_seconds{phase=...}`), so offline analysis
+    /// of a ledger and scraping a live run read identically.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.describe("ninja_migrations_total", "Completed Ninja migrations");
+        m.describe(
+            "ninja_wire_bytes_total",
+            "Bytes moved by migration transfers",
+        );
+        m.describe(
+            "ninja_phase_duration_seconds",
+            "Per-phase migration overhead (Fig. 4 phases plus hotplug = detach + attach)",
+        );
+        for r in &self.reports {
+            m.inc("ninja_migrations_total", &[], 1);
+            m.inc("ninja_wire_bytes_total", &[], r.wire_bytes);
+            for (phase, secs) in [
+                ("coordination", r.coordination.0),
+                ("detach", r.detach.0),
+                ("migration", r.migration.0),
+                ("attach", r.attach.0),
+                ("hotplug", r.hotplug()),
+                ("linkup", r.linkup.0),
+            ] {
+                m.observe("ninja_phase_duration_seconds", &[("phase", phase)], secs);
+            }
+        }
+        m
+    }
+}
+
+impl ToJson for MigrationLedger {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("migrations", self.reports.to_json()),
+            ("total_overhead_s", Json::from(self.total_overhead())),
+            ("total_wire_bytes", Json::from(self.total_wire_bytes())),
+        ])
     }
 }
 
@@ -196,6 +273,45 @@ mod tests {
         let s = ledger.to_string();
         assert!(s.contains("2 migrations"));
         assert!(s.contains("link-up"));
+    }
+
+    #[test]
+    fn csv_hotplug_column_is_detach_plus_attach() {
+        let ledger = ledger_from_roundtrip();
+        let csv = ledger.to_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let col = |name: &str| header.iter().position(|h| *h == name).unwrap();
+        for line in csv.lines().skip(1) {
+            let f: Vec<f64> = line
+                .split(',')
+                .map(|v| v.parse().unwrap_or(f64::NAN))
+                .collect();
+            assert!(
+                (f[col("hotplug_s")] - (f[col("detach_s")] + f[col("attach_s")])).abs() < 1e-9,
+                "hotplug_s must equal detach_s + attach_s: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn exports_agree_across_formats() {
+        let ledger = ledger_from_roundtrip();
+        let stats = ledger.phase_stats();
+        // CSV, JSON, and Prometheus all describe the same migrations.
+        let m = ledger.to_metrics();
+        assert_eq!(m.counter_total("ninja_migrations_total"), 2);
+        assert_eq!(
+            m.counter_total("ninja_wire_bytes_total"),
+            ledger.total_wire_bytes()
+        );
+        let h = m
+            .histogram("ninja_phase_duration_seconds", &[("phase", "hotplug")])
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - stats.hotplug.mean() * 2.0).abs() < 1e-9);
+        let j = ledger.to_json();
+        assert_eq!(j["migrations"].as_array().unwrap().len(), 2);
+        assert!((j["total_overhead_s"].as_f64().unwrap() - ledger.total_overhead()).abs() < 1e-9);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::world::World;
 use ninja_cluster::{ClusterId, FabricKind, NodeId};
 use ninja_mpi::MpiRuntime;
-use serde::Serialize;
+use ninja_sim::{Json, ToJson};
 
 /// Node-level power model.
 #[derive(Debug, Clone)]
@@ -71,11 +71,10 @@ pub enum PlacementPolicy {
 }
 
 /// The planner's verdict for a policy.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlacementPlan {
     /// Destination host list for `NinjaOrchestrator::migrate` (VM i ->
-    /// dsts[i % len]).
-    #[serde(skip)]
+    /// dsts[i % len]). Not serialized.
     pub dsts: Vec<NodeId>,
     /// Number of distinct hosts used.
     pub hosts: usize,
@@ -83,6 +82,16 @@ pub struct PlacementPlan {
     pub watts: f64,
     /// Whether the placement over-commits CPUs.
     pub overcommitted: bool,
+}
+
+impl ToJson for PlacementPlan {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hosts", Json::from(self.hosts)),
+            ("watts", Json::from(self.watts)),
+            ("overcommitted", Json::from(self.overcommitted)),
+        ])
+    }
 }
 
 /// Plans placements and scores power.

@@ -5,12 +5,11 @@
 //! + *migration*. [`NinjaReport`] carries exactly those fields so the
 //!   benchmark harness can print the same stacked bars as Figs. 6-8.
 
-use ninja_sim::{Bytes, SimDuration};
-use serde::Serialize;
+use ninja_sim::{Bytes, Json, SimDuration, ToJson};
 use std::fmt;
 
 /// The per-phase overhead of one Ninja migration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NinjaReport {
     /// CRCP quiesce + IB resource release + SymVirt handshakes.
     pub coordination: SimSecs,
@@ -37,12 +36,18 @@ pub struct NinjaReport {
 }
 
 /// Seconds wrapper so reports serialize as plain numbers.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct SimSecs(pub f64);
 
 impl From<SimDuration> for SimSecs {
     fn from(d: SimDuration) -> Self {
         SimSecs(d.as_secs_f64())
+    }
+}
+
+impl ToJson for SimSecs {
+    fn to_json(&self) -> Json {
+        Json::from(self.0)
     }
 }
 
@@ -95,6 +100,28 @@ impl NinjaReport {
             btl_reconstructed,
             vm_count,
         }
+    }
+}
+
+impl ToJson for NinjaReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("coordination", self.coordination.to_json()),
+            ("detach", self.detach.to_json()),
+            ("migration", self.migration.to_json()),
+            ("attach", self.attach.to_json()),
+            ("linkup", self.linkup.to_json()),
+            ("hotplug", Json::from(self.hotplug())),
+            ("total", Json::from(self.total())),
+            ("wire_bytes", Json::from(self.wire_bytes)),
+            (
+                "transport_before",
+                Json::from(self.transport_before.clone()),
+            ),
+            ("transport_after", Json::from(self.transport_after.clone())),
+            ("btl_reconstructed", Json::from(self.btl_reconstructed)),
+            ("vm_count", Json::from(self.vm_count)),
+        ])
     }
 }
 
@@ -164,8 +191,13 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let s = serde_json::to_string(&sample()).unwrap();
-        assert!(s.contains("\"linkup\""));
-        assert!(s.contains("\"vm_count\":8"));
+        let j = sample().to_json();
+        assert_eq!(j["vm_count"].as_u64(), Some(8));
+        assert!((j["linkup"].as_f64().unwrap() - 29.8).abs() < 1e-9);
+        assert_eq!(j["transport_after"].as_str(), Some("openib"));
+        // Round-trips through the in-repo parser.
+        let back = ninja_sim::parse(&j.to_string()).unwrap();
+        assert_eq!(back["btl_reconstructed"].as_bool(), Some(true));
+        assert!((back["hotplug"].as_f64().unwrap() - 3.9).abs() < 1e-9);
     }
 }

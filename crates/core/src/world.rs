@@ -7,7 +7,7 @@
 
 use ninja_cluster::{ClusterId, DataCenter, NodeId, StorageId};
 use ninja_mpi::{CommEnv, JobLayout, MpiConfig, MpiRuntime};
-use ninja_sim::{SimDuration, SimRng, SimTime, Trace};
+use ninja_sim::{MetricsRegistry, SimDuration, SimRng, SimTime, Trace};
 use ninja_vmm::{VmId, VmPool, VmSpec};
 
 /// All mutable simulation state for one scenario.
@@ -19,8 +19,11 @@ pub struct World {
     pub pool: VmPool,
     /// Scenario RNG (forked per subsystem as needed).
     pub rng: SimRng,
-    /// Structured trace (phase markers feed the benchmark harness).
+    /// Structured trace (typed spans feed the benchmark harness and the
+    /// Chrome-trace exporter).
     pub trace: Trace,
+    /// Labeled counters/gauges/histograms (Prometheus exposition).
+    pub metrics: MetricsRegistry,
     /// The virtual clock.
     pub clock: SimTime,
     /// The IB cluster id (AGC layout).
@@ -38,6 +41,7 @@ impl World {
             pool: VmPool::new(),
             rng: SimRng::new(seed),
             trace: Trace::new(),
+            metrics: MetricsRegistry::new(),
             clock: SimTime::ZERO,
             ib_cluster: ib,
             eth_cluster: eth,
@@ -60,6 +64,7 @@ impl World {
             pool: VmPool::new(),
             rng: SimRng::new(seed),
             trace: Trace::new(),
+            metrics: MetricsRegistry::new(),
             clock: SimTime::ZERO,
             ib_cluster: primary,
             eth_cluster: secondary,
@@ -185,7 +190,7 @@ impl World {
         self.trace.info(
             self.clock,
             "mpi",
-            "job.start",
+            "job.launched",
             format!(
                 "{} ranks, transports {:?}",
                 rt.layout().total_ranks(),
@@ -199,6 +204,43 @@ impl World {
     /// sharing) for the current placement.
     pub fn comm_env(&self) -> CommEnv {
         CommEnv::from_world(&self.pool, &self.dc)
+    }
+
+    /// Fold the runtime's per-transport wire census into the metrics
+    /// registry: message/byte counters and a latency histogram per
+    /// transport kind.
+    pub fn record_wire_metrics(&mut self, rt: &MpiRuntime) {
+        self.metrics.describe(
+            "ninja_mpi_messages_total",
+            "MPI messages sent, by transport",
+        );
+        self.metrics.describe(
+            "ninja_mpi_message_bytes_total",
+            "MPI payload bytes sent, by transport",
+        );
+        self.metrics.describe(
+            "ninja_mpi_message_latency_seconds",
+            "MPI message latency (send to delivery), by transport",
+        );
+        for (kind, stats) in rt.wire_census() {
+            let kind = kind.to_string();
+            let labels = [("transport", kind.as_str())];
+            self.metrics
+                .inc("ninja_mpi_messages_total", &labels, stats.messages);
+            self.metrics
+                .inc("ninja_mpi_message_bytes_total", &labels, stats.bytes);
+            if stats.latency.count() > 0 {
+                // The summary only keeps moments; feed the histogram the
+                // mean once per observed message to preserve count+sum.
+                for _ in 0..stats.latency.count() {
+                    self.metrics.observe(
+                        "ninja_mpi_message_latency_seconds",
+                        &labels,
+                        stats.latency.mean(),
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -27,9 +27,9 @@ fn json_output_parses() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
-    assert_eq!(v["vm_count"], 2);
-    assert_eq!(v["transport_after"], "tcp");
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(v["vm_count"].as_u64(), Some(2));
+    assert_eq!(v["transport_after"].as_str(), Some("tcp"));
 }
 
 #[test]
@@ -86,8 +86,91 @@ fn chrome_trace_written() {
         .unwrap();
     assert!(out.status.success());
     let data = std::fs::read_to_string(&path).unwrap();
-    let v: serde_json::Value = serde_json::from_str(&data).expect("valid trace JSON");
+    let v = ninja_sim::parse(&data).expect("valid trace JSON");
     assert!(v["traceEvents"].as_array().unwrap().len() > 5);
+}
+
+#[test]
+fn migrate_writes_trace_and_metrics() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("migrate-trace.json");
+    let metrics = dir.join("migrate-metrics.prom");
+    let out = ninja()
+        .args([
+            "migrate",
+            "--vms",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The Chrome trace holds one complete ("X") per-VM span per
+    // migration phase per VM, on the "symvirt" track.
+    let v = ninja_sim::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = v["traceEvents"].as_array().unwrap();
+    for phase in ["coordination", "detach", "migration", "attach", "linkup"] {
+        let per_vm = events
+            .iter()
+            .filter(|e| {
+                e["ph"].as_str() == Some("X")
+                    && e["cat"].as_str() == Some("symvirt")
+                    && e["name"].as_str() == Some(phase)
+            })
+            .count();
+        assert_eq!(per_vm, 2, "one {phase} span per VM");
+    }
+
+    // The Prometheus text names the headline metrics.
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    for needle in [
+        "ninja_migrations_total 1",
+        "ninja_wire_bytes_total",
+        "ninja_phase_duration_seconds_bucket",
+        "ninja_trace_dropped_records",
+    ] {
+        assert!(prom.contains(needle), "metrics output mentions {needle}");
+    }
+}
+
+#[test]
+fn trace_summarize_reads_back_trace() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("summarize-trace.json");
+    let out = ninja()
+        .args([
+            "migrate",
+            "--vms",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = ninja()
+        .args(["trace", "summarize", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("component"));
+    assert!(stdout.contains("migration"));
+    assert!(stdout.contains("symvirt"));
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! The cost engine in [`crate::collectives`] answers "how long would
 //! this take"; this module answers "does the communication actually
 //! work" — it runs genuine rank functions on OS threads, moving real
-//! data through crossbeam channels, with each message routed over the
-//! transport the BTL layer selected for that pair. The integration
+//! data through `std::sync::mpsc` channels, with each message routed
+//! over the transport the BTL layer selected for that pair. The integration
 //! tests use it to verify the *semantics* of interconnect-transparent
 //! migration: the same rank program computes the same answer before and
 //! after the job's connections are rebuilt onto a different transport,
@@ -17,12 +17,12 @@
 //! algorithms the cost engine models.
 
 use crate::layout::Rank;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ninja_net::TransportKind;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A tag distinguishing concurrent message streams.
 pub type Tag = u32;
@@ -134,7 +134,7 @@ impl Comm {
     /// Blocking send of a payload to `dst` with a tag.
     pub fn send(&self, dst: u32, tag: Tag, payload: Vec<f64>) {
         assert!(dst < self.size, "rank {dst} out of range");
-        let transport = self.fabric.routes.lock().lookup(self.rank, dst);
+        let transport = self.fabric.routes.lock().unwrap().lookup(self.rank, dst);
         self.fabric.count(transport);
         self.fabric.senders[dst as usize]
             .send(Packet {
@@ -349,7 +349,7 @@ where
     let mut senders = Vec::with_capacity(n as usize);
     let mut inboxes = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         inboxes.push(rx);
     }

@@ -36,4 +36,6 @@ pub use collectives::{CollectiveAlgo, CommEnv, VmEnv, PIPELINE_SEGMENT};
 pub use crcp::{Crcp, QuiesceReport};
 pub use exec::{run_job, Comm, RouteTable, TrafficCensus};
 pub use layout::{JobLayout, Rank};
-pub use runtime::{BuildReport, ContinueOutcome, MpiConfig, MpiError, MpiRuntime, RuntimeState};
+pub use runtime::{
+    BuildReport, ContinueOutcome, MpiConfig, MpiError, MpiRuntime, RuntimeState, TransportStats,
+};

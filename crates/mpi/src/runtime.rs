@@ -24,7 +24,7 @@ use crate::btl::{BtlRegistry, Connection, Endpoint};
 use crate::layout::{JobLayout, Rank};
 use ninja_cluster::{DataCenter, DeviceId};
 use ninja_net::{IbError, MrKey, TransportKind};
-use ninja_sim::{Bytes, SimTime};
+use ninja_sim::{Bytes, SimTime, Summary};
 use ninja_vmm::{VmId, VmPool};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -140,6 +140,19 @@ pub enum ContinueOutcome {
     KeptExisting,
 }
 
+/// Per-transport wire accounting: how many messages and bytes a job has
+/// pushed over each transport kind, and the observed message latencies
+/// when the caller knows the send time.
+#[derive(Debug, Clone, Default)]
+pub struct TransportStats {
+    /// Messages sent over this transport.
+    pub messages: u64,
+    /// Payload bytes sent over this transport.
+    pub bytes: u64,
+    /// Message latency samples in seconds (send → delivery), when known.
+    pub latency: Summary,
+}
+
 /// One in-flight point-to-point message.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InflightMsg {
@@ -167,6 +180,7 @@ pub struct MpiRuntime {
     inflight: Vec<InflightMsg>,
     sent: u64,
     delivered: u64,
+    wire: BTreeMap<TransportKind, TransportStats>,
 }
 
 impl MpiRuntime {
@@ -183,6 +197,7 @@ impl MpiRuntime {
             inflight: Vec::new(),
             sent: 0,
             delivered: 0,
+            wire: BTreeMap::new(),
         }
     }
 
@@ -489,7 +504,41 @@ impl MpiRuntime {
 
     /// Record a message leaving rank `from` toward `to`.
     pub fn record_send(&mut self, from: Rank, to: Rank, bytes: Bytes, deliver_at: SimTime) {
+        self.record_send_inner(from, to, bytes, deliver_at, None);
+    }
+
+    /// Like [`MpiRuntime::record_send`] but with a known send time, so the
+    /// per-transport latency summary gains a sample.
+    pub fn record_send_at(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        bytes: Bytes,
+        sent_at: SimTime,
+        deliver_at: SimTime,
+    ) {
+        let latency = deliver_at.since(sent_at).as_secs_f64();
+        self.record_send_inner(from, to, bytes, deliver_at, Some(latency));
+    }
+
+    fn record_send_inner(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        bytes: Bytes,
+        deliver_at: SimTime,
+        latency: Option<f64>,
+    ) {
         self.sent += 1;
+        let kind = self
+            .transport_between(from, to)
+            .unwrap_or(TransportKind::SelfLoop);
+        let stats = self.wire.entry(kind).or_default();
+        stats.messages += 1;
+        stats.bytes += bytes.get();
+        if let Some(l) = latency {
+            stats.latency.record(l);
+        }
         self.inflight.push(InflightMsg {
             from,
             to,
@@ -523,6 +572,11 @@ impl MpiRuntime {
     /// Totals: (sent, delivered).
     pub fn traffic_totals(&self) -> (u64, u64) {
         (self.sent, self.delivered)
+    }
+
+    /// Per-transport wire accounting accumulated by `record_send*`.
+    pub fn wire_census(&self) -> &BTreeMap<TransportKind, TransportStats> {
+        &self.wire
     }
 }
 
@@ -676,6 +730,25 @@ mod tests {
         rt.deliver_due(later);
         assert_eq!(rt.inflight_count(), 0);
         assert_eq!(rt.traffic_totals(), (2, 2));
+    }
+
+    #[test]
+    fn wire_census_tracks_transport_and_latency() {
+        let (mut dc, pool, mut rt, ready, _) = ib_world(1);
+        rt.init(&pool, &mut dc, ready).unwrap();
+        let later = ready + ninja_sim::SimDuration::from_millis(2);
+        rt.record_send_at(Rank(0), Rank(1), Bytes::from_kib(64), ready, later);
+        rt.record_send(Rank(2), Rank(2), Bytes::from_kib(1), ready);
+        let census = rt.wire_census();
+        let ib = &census[&TransportKind::OpenIb];
+        assert_eq!(ib.messages, 1);
+        assert_eq!(ib.bytes, Bytes::from_kib(64).get());
+        assert_eq!(ib.latency.count(), 1);
+        assert!((ib.latency.mean() - 0.002).abs() < 1e-9);
+        let lo = &census[&TransportKind::SelfLoop];
+        assert_eq!(lo.messages, 1);
+        assert_eq!(lo.latency.count(), 0, "plain record_send has no latency");
+        rt.deliver_due(later);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   measurement collectors implementing the paper's "best of three"
 //!   methodology;
 //! * [`Trace`] — structured phase/event tracing that the benchmark harness
-//!   uses to compute overhead breakdowns.
+//!   uses to compute overhead breakdowns;
+//! * [`Span`] / [`SpanBuilder`] — typed, labeled intervals of simulated
+//!   time recorded into the trace;
+//! * [`MetricsRegistry`] — labeled counters, gauges and histograms with
+//!   Prometheus text exposition;
+//! * [`Json`] / [`export`] — a dependency-free JSON writer/parser used by
+//!   every exporter in the workspace.
 //!
 //! Everything in the upper crates (`ninja-net`, `ninja-cluster`,
 //! `ninja-vmm`, `ninja-mpi`, `ninja-symvirt`, `ninja-migration`) is built
@@ -23,14 +29,20 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod export;
+pub mod metrics;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod units;
 
 pub use engine::{Action, Ctx, Engine, EventId, RunOutcome};
+pub use export::{parse, Json, JsonError, ToJson};
+pub use metrics::{HistogramMetric, LabelSet, MetricsRegistry};
 pub use rng::SimRng;
+pub use span::{Span, SpanBuilder};
 pub use stats::{DurationSamples, Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLevel, TraceRecord};

@@ -1,0 +1,494 @@
+//! A labeled metrics registry with dependency-free exporters.
+//!
+//! Components record counters (monotone `u64`), gauges (latest `f64`),
+//! and log-bucketed histograms (built on [`Histogram`] and [`Summary`])
+//! keyed by metric name plus sorted label pairs, Prometheus-style.
+//! The registry exports:
+//!
+//! * Prometheus text exposition format ([`MetricsRegistry::to_prometheus`]),
+//! * a JSON document ([`MetricsRegistry::to_json`]).
+//!
+//! Metric and label naming follows the Prometheus conventions
+//! (`ninja_wire_bytes_total`, `ninja_phase_duration_seconds{phase="detach"}`,
+//! ...); the full catalog lives in `docs/observability.md`.
+
+use crate::export::Json;
+use crate::stats::{Histogram, Summary};
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// Sorted label pairs identifying one series of a metric.
+pub type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut out: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// A histogram series: log-bucketed counts plus streaming moments (the
+/// `Summary` supplies `_sum`, and min/max/mean for the JSON export).
+#[derive(Debug, Clone)]
+pub struct HistogramMetric {
+    hist: Histogram,
+    summary: Summary,
+}
+
+impl HistogramMetric {
+    fn new(first: f64, base: f64, n: usize) -> Self {
+        HistogramMetric {
+            hist: Histogram::exponential(first, base, n),
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.hist.record(v);
+        self.summary.record(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        if self.summary.count() == 0 {
+            0.0
+        } else {
+            self.summary.mean() * self.summary.count() as f64
+        }
+    }
+
+    /// The underlying bucketed histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// The streaming summary of observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+}
+
+/// Default bucket layout for duration histograms: 1 ms doubling up to
+/// ~2.3 h, which brackets every phase the paper measures (sub-second
+/// Ethernet hotplug up to week-long drill windows land in overflow).
+const DURATION_BUCKETS: (f64, f64, usize) = (0.001, 2.0, 23);
+
+/// The registry: every series of every metric, plus help texts.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    help: BTreeMap<String, String>,
+    counters: BTreeMap<String, BTreeMap<LabelSet, u64>>,
+    gauges: BTreeMap<String, BTreeMap<LabelSet, f64>>,
+    histograms: BTreeMap<String, BTreeMap<LabelSet, HistogramMetric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers help text shown in the Prometheus exposition.
+    pub fn describe(&mut self, name: &str, help: &str) {
+        self.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Adds `delta` to a counter series (created at zero).
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_set(labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge series to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .insert(label_set(labels), value);
+    }
+
+    /// Records an observation into a histogram series with the default
+    /// log-bucket layout.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let (first, base, n) = DURATION_BUCKETS;
+        self.observe_with_buckets(name, labels, value, first, base, n);
+    }
+
+    /// Records an observation, creating the series with an explicit
+    /// exponential bucket layout if it does not exist yet.
+    pub fn observe_with_buckets(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        first: f64,
+        base: f64,
+        n: usize,
+    ) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_set(labels))
+            .or_insert_with(|| HistogramMetric::new(first, base, n))
+            .observe(value);
+    }
+
+    /// Records a duration observation in seconds.
+    pub fn observe_duration(&mut self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.observe(name, labels, d.as_secs_f64());
+    }
+
+    /// Reads a counter series (0 if absent — counters start at zero).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(name)
+            .and_then(|series| series.get(&label_set(labels)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter over all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .get(name)
+            .map(|series| series.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Reads a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .get(name)
+            .and_then(|series| series.get(&label_set(labels)))
+            .copied()
+    }
+
+    /// Reads a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramMetric> {
+        self.histograms
+            .get(name)
+            .and_then(|series| series.get(&label_set(labels)))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add, gauges take
+    /// the other's value, histogram summaries merge (bucket counts too
+    /// when the layouts match — keep layouts consistent per name).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, help) in &other.help {
+            self.help
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
+        }
+        for (name, series) in &other.counters {
+            for (labels, v) in series {
+                *self
+                    .counters
+                    .entry(name.clone())
+                    .or_default()
+                    .entry(labels.clone())
+                    .or_insert(0) += v;
+            }
+        }
+        for (name, series) in &other.gauges {
+            for (labels, v) in series {
+                self.gauges
+                    .entry(name.clone())
+                    .or_default()
+                    .insert(labels.clone(), *v);
+            }
+        }
+        for (name, series) in &other.histograms {
+            for (labels, h) in series {
+                self.histograms
+                    .entry(name.clone())
+                    .or_default()
+                    .entry(labels.clone())
+                    .and_modify(|mine| {
+                        mine.summary.merge(&h.summary);
+                        mine.hist.merge(&h.hist);
+                    })
+                    .or_insert_with(|| h.clone());
+            }
+        }
+    }
+
+    /// Prometheus text exposition format (version 0.0.4).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, series) in &self.counters {
+            self.header(&mut out, name, "counter");
+            for (labels, v) in series {
+                out.push_str(&format!("{}{} {}\n", name, fmt_labels(labels, None), v));
+            }
+        }
+        for (name, series) in &self.gauges {
+            self.header(&mut out, name, "gauge");
+            for (labels, v) in series {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    name,
+                    fmt_labels(labels, None),
+                    prom_f64(*v)
+                ));
+            }
+        }
+        for (name, series) in &self.histograms {
+            self.header(&mut out, name, "histogram");
+            for (labels, h) in series {
+                let mut cum = 0u64;
+                for (bound, count) in h.hist.buckets() {
+                    cum += count;
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        name,
+                        fmt_labels(labels, Some(&prom_f64(bound))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    name,
+                    fmt_labels(labels, Some("+Inf")),
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    name,
+                    fmt_labels(labels, None),
+                    prom_f64(h.sum())
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    name,
+                    fmt_labels(labels, None),
+                    h.count()
+                ));
+            }
+        }
+        out
+    }
+
+    fn header(&self, out: &mut String, name: &str, kind: &str) {
+        if let Some(help) = self.help.get(name) {
+            out.push_str(&format!("# HELP {name} {}\n", prom_escape_help(help)));
+        }
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// JSON document with every series (used by `--metrics-out` when
+    /// the file name ends in `.json`, and by the ledger exporters).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Vec::new();
+        for (name, series) in &self.counters {
+            for (labels, v) in series {
+                counters.push(series_obj(name, labels, vec![("value", Json::from(*v))]));
+            }
+        }
+        let mut gauges = Vec::new();
+        for (name, series) in &self.gauges {
+            for (labels, v) in series {
+                gauges.push(series_obj(name, labels, vec![("value", Json::from(*v))]));
+            }
+        }
+        let mut histograms = Vec::new();
+        for (name, series) in &self.histograms {
+            for (labels, h) in series {
+                histograms.push(series_obj(
+                    name,
+                    labels,
+                    vec![
+                        ("count", Json::from(h.count())),
+                        ("sum", Json::from(h.sum())),
+                        ("min", finite_or_null(h.summary.min())),
+                        ("mean", finite_or_null(h.summary.mean())),
+                        ("max", finite_or_null(h.summary.max())),
+                    ],
+                ));
+            }
+        }
+        Json::obj(vec![
+            ("counters", Json::Arr(counters)),
+            ("gauges", Json::Arr(gauges)),
+            ("histograms", Json::Arr(histograms)),
+        ])
+    }
+}
+
+fn finite_or_null(v: f64) -> Json {
+    if v.is_finite() {
+        Json::from(v)
+    } else {
+        Json::Null
+    }
+}
+
+fn series_obj(name: &str, labels: &LabelSet, extra: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("name", Json::from(name))];
+    if !labels.is_empty() {
+        fields.push((
+            "labels",
+            Json::Obj(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                    .collect(),
+            ),
+        ));
+    }
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+/// Formats a float for Prometheus exposition (`NaN`, `+Inf`, `-Inf`
+/// spellings per the format spec).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn prom_escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prom_escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` with an optional extra `le` label (histogram
+/// buckets); empty label sets render as nothing.
+fn fmt_labels(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        m.inc("ninja_migrations_total", &[("to", "eth")], 1);
+        m.inc("ninja_migrations_total", &[("to", "eth")], 2);
+        m.inc("ninja_migrations_total", &[("to", "ib")], 5);
+        assert_eq!(m.counter("ninja_migrations_total", &[("to", "eth")]), 3);
+        assert_eq!(m.counter_total("ninja_migrations_total"), 8);
+        // Label order does not matter.
+        m.inc("x", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(m.counter("x", &[("b", "2"), ("a", "1")]), 1);
+    }
+
+    #[test]
+    fn histogram_records_moments_and_buckets() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.01, 0.02, 10.0] {
+            m.observe("ninja_phase_duration_seconds", &[("phase", "detach")], v);
+        }
+        let h = m
+            .histogram("ninja_phase_duration_seconds", &[("phase", "detach")])
+            .unwrap();
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 10.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut m = MetricsRegistry::new();
+        m.describe("ninja_wire_bytes_total", "Bytes moved over the wire");
+        m.inc("ninja_wire_bytes_total", &[], 1234);
+        m.set_gauge("ninja_vms", &[("cluster", "ib")], 4.0);
+        m.observe_duration(
+            "ninja_phase_duration_seconds",
+            &[("phase", "linkup")],
+            SimDuration::from_secs(30),
+        );
+        let text = m.to_prometheus();
+        assert!(text.contains("# HELP ninja_wire_bytes_total Bytes moved over the wire"));
+        assert!(text.contains("# TYPE ninja_wire_bytes_total counter"));
+        assert!(text.contains("ninja_wire_bytes_total 1234"));
+        assert!(text.contains("ninja_vms{cluster=\"ib\"} 4"));
+        assert!(
+            text.contains("ninja_phase_duration_seconds_bucket{phase=\"linkup\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("ninja_phase_duration_seconds_sum{phase=\"linkup\"} 30"));
+        assert!(text.contains("ninja_phase_duration_seconds_count{phase=\"linkup\"} 1"));
+        // Buckets are cumulative: the last finite bucket holds the count.
+        let last_finite = text
+            .lines()
+            .rev()
+            .find(|l| l.contains("_bucket") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 1"), "{last_finite}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut m = MetricsRegistry::new();
+        m.inc("c", &[("vm", "a\"b\\c\nd")], 1);
+        let text = m.to_prometheus();
+        assert!(text.contains(r#"vm="a\"b\\c\nd""#), "{text}");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("n", &[], 1);
+        b.inc("n", &[], 2);
+        a.observe("h", &[], 1.0);
+        b.observe("h", &[], 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n", &[]), 3);
+        let h = a.histogram("h", &[]).unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_export_lists_series() {
+        let mut m = MetricsRegistry::new();
+        m.inc("ninja_migrations_total", &[("to", "eth")], 2);
+        let j = m.to_json();
+        let counters = j["counters"].as_array().unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0]["name"].as_str(), Some("ninja_migrations_total"));
+        assert_eq!(counters[0]["labels"]["to"].as_str(), Some("eth"));
+        assert_eq!(counters[0]["value"].as_u64(), Some(2));
+    }
+}

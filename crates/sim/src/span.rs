@@ -1,0 +1,174 @@
+//! Typed spans: named intervals of simulated time.
+//!
+//! A [`Span`] replaces the old `"<name>.start"` / `"<name>.end"`
+//! string-marker protocol: producers open a [`SpanBuilder`], attach
+//! labels, and close it into the [`Trace`](crate::Trace) when the
+//! interval ends. Pairing happens at construction time, so a recorded
+//! span is complete by definition (`end >= start`) and exporters never
+//! re-derive intervals from marker strings.
+//!
+//! Naming conventions (see `docs/observability.md`):
+//!
+//! * `component` is the subsystem that owns the interval, e.g.
+//!   `"ninja"` (orchestrator phases), `"symvirt"`, `"vmm"`, `"mpi"`,
+//!   `"net"`.
+//! * `name` is the interval kind, e.g. `"detach"`, `"migration"`.
+//! * per-object instances carry labels (`vm`, `transport`, ...)
+//!   rather than mangled names.
+
+use crate::export::Json;
+use crate::time::{SimDuration, SimTime};
+
+/// A completed, labeled interval of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Subsystem that produced the span (`ninja`, `symvirt`, ...).
+    pub component: String,
+    /// Interval kind (`coordination`, `detach`, `migration`, ...).
+    pub name: String,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end; always `>= start`.
+    pub end: SimTime,
+    /// Key/value annotations (e.g. `("vm", "j0v1")`).
+    pub labels: Vec<(String, String)>,
+}
+
+impl Span {
+    /// The covered duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Looks up a label value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// JSON object representation (used by the JSONL exporter).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("type", Json::from("span")),
+            ("component", Json::from(self.component.as_str())),
+            ("name", Json::from(self.name.as_str())),
+            ("start_ns", Json::from(self.start.as_nanos())),
+            ("end_ns", Json::from(self.end.as_nanos())),
+            (
+                "duration_s",
+                Json::from(self.end.since(self.start).as_secs_f64()),
+            ),
+        ];
+        if !self.labels.is_empty() {
+            fields.push((
+                "labels",
+                Json::Obj(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// An open span under construction.
+///
+/// Spans are value-based rather than borrow-guards: simulation state
+/// (including the trace) is threaded mutably through phase code, so
+/// the builder holds no reference and is closed explicitly with
+/// [`SpanBuilder::end`] or [`Trace::end_span`](crate::Trace::end_span).
+/// The `#[must_use]` marker gives RAII-like protection against
+/// forgetting to close one.
+#[derive(Debug, Clone)]
+#[must_use = "open spans must be closed with .end(at) or Trace::end_span"]
+pub struct SpanBuilder {
+    component: String,
+    name: String,
+    start: SimTime,
+    labels: Vec<(String, String)>,
+}
+
+impl SpanBuilder {
+    /// Opens a span at `start`.
+    pub fn new(component: impl Into<String>, name: impl Into<String>, start: SimTime) -> Self {
+        SpanBuilder {
+            component: component.into(),
+            name: name.into(),
+            start,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Attaches a label.
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// The span name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The start time.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Closes the span. An `at` earlier than `start` is clamped to a
+    /// zero-length span (simulated clocks never run backwards, but
+    /// saturating keeps the invariant unconditional).
+    pub fn end(self, at: SimTime) -> Span {
+        Span {
+            end: at.max(self.start),
+            component: self.component,
+            name: self.name,
+            start: self.start,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn builder_produces_well_formed_span() {
+        let span = SpanBuilder::new("vmm", "migration", t(3))
+            .label("vm", "vm0")
+            .end(t(7));
+        assert_eq!(span.component, "vmm");
+        assert_eq!(span.name, "migration");
+        assert_eq!(span.duration(), SimDuration::from_secs(4));
+        assert_eq!(span.label("vm"), Some("vm0"));
+        assert_eq!(span.label("missing"), None);
+    }
+
+    #[test]
+    fn end_before_start_clamps() {
+        let span = SpanBuilder::new("x", "y", t(5)).end(t(2));
+        assert_eq!(span.start, span.end);
+        assert_eq!(span.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn json_shape() {
+        let span = SpanBuilder::new("net", "linkup", t(1))
+            .label("vm", "a")
+            .end(t(31));
+        let j = span.to_json();
+        assert_eq!(j["type"].as_str(), Some("span"));
+        assert_eq!(j["labels"]["vm"].as_str(), Some("a"));
+        assert_eq!(j["duration_s"].as_f64(), Some(30.0));
+    }
+}

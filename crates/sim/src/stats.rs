@@ -286,6 +286,30 @@ impl Histogram {
         self.total
     }
 
+    /// `(upper_bound, count)` per bucket, in increasing bound order.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Samples above the last bucket bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merges another histogram with the identical bucket layout;
+    /// returns `false` (leaving `self` unchanged) when layouts differ.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        true
+    }
+
     /// Approximate quantile (returns the bucket upper bound containing it).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q));

@@ -1,10 +1,20 @@
 //! Structured event tracing.
 //!
-//! Components append [`TraceRecord`]s to a shared [`Trace`] as the
-//! simulation runs. The benchmark regenerators use phase markers (e.g.
-//! `hotplug.detach.start` / `.end`) to compute the paper's overhead
-//! breakdowns, and the test suite asserts on causal ordering of records.
+//! Components append [`TraceRecord`]s (point events) and typed
+//! [`Span`]s (named intervals, see [`crate::span`]) to a shared
+//! [`Trace`] as the simulation runs. The benchmark regenerators read
+//! the phase spans to compute the paper's overhead breakdowns, the
+//! test suite asserts on causal ordering, and the exporters render
+//! Chrome trace-event JSON (Perfetto-loadable) and a JSONL event
+//! stream.
+//!
+//! Memory is bounded by an optional ring-buffer cap
+//! ([`Trace::set_capacity`]); week-long drill scenarios set a cap and
+//! keep the newest entries, with evictions counted in
+//! [`Trace::dropped`].
 
+use crate::export::Json;
+use crate::span::{Span, SpanBuilder};
 use crate::time::{SimDuration, SimTime};
 use std::fmt;
 
@@ -33,7 +43,7 @@ impl fmt::Display for TraceLevel {
     }
 }
 
-/// One trace record.
+/// One point-in-time trace record.
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// The at.
@@ -42,7 +52,7 @@ pub struct TraceRecord {
     pub level: TraceLevel,
     /// Dotted component path, e.g. `vmm.migration` or `mpi.btl`.
     pub component: String,
-    /// Event kind, e.g. `precopy.round`, `hotplug.detach.end`.
+    /// Event kind, e.g. `precopy.round`, `boot.ib`.
     pub kind: String,
     /// Free-form details.
     pub detail: String,
@@ -62,33 +72,94 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// An append-only trace of simulation activity.
+/// An append-only trace of simulation activity: point records plus
+/// completed spans.
 #[derive(Debug, Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
+    spans: Vec<Span>,
     enabled: bool,
+    /// Per-store ring cap (`None` = unbounded).
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Trace {
-    /// A trace that records everything.
+    /// A trace that records everything, unbounded.
     pub fn new() -> Self {
         Trace {
             records: Vec::new(),
+            spans: Vec::new(),
             enabled: true,
+            capacity: None,
+            dropped: 0,
         }
     }
 
     /// A trace that drops everything (for long property-test runs).
     pub fn disabled() -> Self {
         Trace {
-            records: Vec::new(),
             enabled: false,
+            ..Trace::new()
         }
     }
 
     /// Whether this is enabled.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Caps the record and span stores at `cap` entries each; the
+    /// oldest entries are evicted (and counted in [`Trace::dropped`])
+    /// once a store exceeds its cap. `None` restores unbounded growth.
+    /// Eviction is amortized: a store briefly holds up to `2 * cap`
+    /// entries before the oldest half-window is drained.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap.map(|c| c.max(1));
+        let cap = self.capacity;
+        if let Some(c) = cap {
+            if self.records.len() > c {
+                let excess = self.records.len() - c;
+                self.records.drain(..excess);
+                self.dropped += excess as u64;
+            }
+            if self.spans.len() > c {
+                let excess = self.spans.len() - c;
+                self.spans.drain(..excess);
+                self.dropped += excess as u64;
+            }
+        }
+    }
+
+    /// The configured ring cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of entries evicted by the ring cap since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn enforce_record_cap(&mut self) {
+        if let Some(cap) = self.capacity {
+            // Amortized O(1): drain half a window at a time.
+            if self.records.len() >= cap.saturating_mul(2) {
+                let excess = self.records.len() - cap;
+                self.records.drain(..excess);
+                self.dropped += excess as u64;
+            }
+        }
+    }
+
+    fn enforce_span_cap(&mut self) {
+        if let Some(cap) = self.capacity {
+            if self.spans.len() >= cap.saturating_mul(2) {
+                let excess = self.spans.len() - cap;
+                self.spans.drain(..excess);
+                self.dropped += excess as u64;
+            }
+        }
     }
 
     /// Append a record.
@@ -110,6 +181,7 @@ impl Trace {
             kind: kind.into(),
             detail: detail.into(),
         });
+        self.enforce_record_cap();
     }
 
     /// Convenience: phase marker.
@@ -132,17 +204,55 @@ impl Trace {
         self.emit(at, TraceLevel::Error, component, kind, detail);
     }
 
-    /// Returns the records.
+    /// Opens a span. The builder holds no reference to the trace;
+    /// close it with [`Trace::end_span`] (or `builder.end(at)` +
+    /// [`Trace::record_span`]).
+    pub fn begin_span(
+        &self,
+        component: impl Into<String>,
+        name: impl Into<String>,
+        start: SimTime,
+    ) -> SpanBuilder {
+        SpanBuilder::new(component, name, start)
+    }
+
+    /// Closes `builder` at `at` and records the span.
+    pub fn end_span(&mut self, builder: SpanBuilder, at: SimTime) {
+        self.record_span(builder.end(at));
+    }
+
+    /// Records a completed span.
+    pub fn record_span(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(span);
+        self.enforce_span_cap();
+    }
+
+    /// Records several completed spans.
+    pub fn record_spans(&mut self, spans: impl IntoIterator<Item = Span>) {
+        for s in spans {
+            self.record_span(s);
+        }
+    }
+
+    /// Returns the point records.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
     }
 
-    /// Number of entries.
+    /// Returns the completed spans, in completion order.
+    pub fn all_spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of point records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether this is empty.
+    /// Whether there are no point records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -172,41 +282,48 @@ impl Trace {
         self.records.iter().rev().find(|r| r.kind == kind)
     }
 
-    /// Elapsed time between the first `<name>.start` and the first
-    /// `<name>.end` *at or after* it. This is the primitive the overhead
-    /// breakdown is computed from.
+    /// The envelope duration of all spans named `name` (any
+    /// component): earliest start to latest end. `None` when no such
+    /// span was recorded. This is the primitive the overhead breakdown
+    /// is computed from.
     pub fn span(&self, name: &str) -> Option<SimDuration> {
-        let start_kind = format!("{name}.start");
-        let end_kind = format!("{name}.end");
-        let start = self.first_of(&start_kind)?;
-        let end = self
-            .records
-            .iter()
-            .find(|r| r.kind == end_kind && r.at >= start.at)?;
-        Some(end.at.since(start.at))
+        let mut start: Option<SimTime> = None;
+        let mut end: Option<SimTime> = None;
+        for s in self.spans.iter().filter(|s| s.name == name) {
+            start = Some(start.map_or(s.start, |cur: SimTime| cur.min(s.start)));
+            end = Some(end.map_or(s.end, |cur: SimTime| cur.max(s.end)));
+        }
+        Some(end?.since(start?))
     }
 
-    /// All (start, end) span pairs for a marker name, matched in order.
+    /// All `(start, end)` intervals of spans named `name` (any
+    /// component), in start order.
     pub fn spans(&self, name: &str) -> Vec<(SimTime, SimTime)> {
-        let start_kind = format!("{name}.start");
-        let end_kind = format!("{name}.end");
-        let mut out = Vec::new();
-        let mut open: Option<SimTime> = None;
-        for r in &self.records {
-            if r.kind == start_kind {
-                open = Some(r.at);
-            } else if r.kind == end_kind {
-                if let Some(s) = open.take() {
-                    out.push((s, r.at));
-                }
-            }
-        }
+        let mut out: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| (s.start, s.end))
+            .collect();
+        out.sort();
         out
     }
 
-    /// Total duration covered by all spans of a marker name.
+    /// Spans matching both component and name, in completion order.
+    pub fn spans_of<'a>(&'a self, component: &'a str, name: &'a str) -> Vec<&'a Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.component == component && s.name == name)
+            .collect()
+    }
+
+    /// Total duration covered by all spans named `name`.
     pub fn total_span(&self, name: &str) -> SimDuration {
-        self.spans(name).into_iter().map(|(s, e)| e.since(s)).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(Span::duration)
+            .sum()
     }
 
     /// True if any error-level records were emitted.
@@ -214,42 +331,91 @@ impl Trace {
         self.records.iter().any(|r| r.level == TraceLevel::Error)
     }
 
-    /// Export phase spans as Chrome trace-event JSON (load in
-    /// `chrome://tracing` or Perfetto). Each `<name>.start`/`.end` pair
-    /// becomes a complete ("X") event on its component's row; other
-    /// records become instant ("i") events.
+    /// Export as Chrome trace-event JSON (load in `chrome://tracing`
+    /// or <https://ui.perfetto.dev>). Spans become complete ("X")
+    /// events with their labels as `args`; point records become
+    /// instant ("i") events. Timestamps are microseconds of simulated
+    /// time; each component renders as its own track (`tid`).
     pub fn to_chrome_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
-        let mut events = Vec::new();
-        let mut open: Vec<(String, &TraceRecord)> = Vec::new();
-        for r in &self.records {
-            if let Some(name) = r.kind.strip_suffix(".start") {
-                open.push((name.to_string(), r));
-            } else if let Some(name) = r.kind.strip_suffix(".end") {
-                if let Some(pos) = open.iter().rposition(|(n, _)| n == name) {
-                    let (_, start) = open.remove(pos);
-                    events.push(format!(
-                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":\"{}\"}}",
-                        esc(name),
-                        esc(&start.component),
-                        start.at.as_nanos() / 1_000,
-                        r.at.since(start.at).as_nanos() / 1_000,
-                        esc(&start.component)
-                    ));
-                }
-            } else {
-                events.push(format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":\"{}\",\"s\":\"t\"}}",
-                    esc(&r.kind),
-                    esc(&r.component),
-                    r.at.as_nanos() / 1_000,
-                    esc(&r.component)
+        let mut events: Vec<Json> = Vec::new();
+        for s in &self.spans {
+            let mut fields = vec![
+                ("name", Json::from(s.name.as_str())),
+                ("cat", Json::from(s.component.as_str())),
+                ("ph", Json::from("X")),
+                ("ts", Json::from(s.start.as_nanos() / 1_000)),
+                ("dur", Json::from(s.duration().as_nanos() / 1_000)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(s.component.as_str())),
+            ];
+            if !s.labels.is_empty() {
+                fields.push((
+                    "args",
+                    Json::Obj(
+                        s.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                            .collect(),
+                    ),
                 ));
             }
+            events.push(Json::obj(fields));
         }
-        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+        for r in &self.records {
+            events.push(Json::obj(vec![
+                ("name", Json::from(r.kind.as_str())),
+                ("cat", Json::from(r.component.as_str())),
+                ("ph", Json::from("i")),
+                ("ts", Json::from(r.at.as_nanos() / 1_000)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(r.component.as_str())),
+                ("s", Json::from("t")),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("level", Json::from(r.level.to_string())),
+                        ("detail", Json::from(r.detail.as_str())),
+                    ]),
+                ),
+            ]));
+        }
+        // Stable display order: by timestamp, spans before instants at
+        // the same tick (already grouped that way above per class).
+        Json::obj(vec![("traceEvents", Json::Arr(events))]).to_string()
+    }
+
+    /// Export as a JSONL event stream: one JSON object per line, spans
+    /// and records interleaved in time order.
+    pub fn to_jsonl(&self) -> String {
+        #[derive(Clone, Copy)]
+        enum Item<'a> {
+            Span(&'a Span),
+            Record(&'a TraceRecord),
+        }
+        let mut items: Vec<(SimTime, Item<'_>)> = self
+            .spans
+            .iter()
+            .map(|s| (s.start, Item::Span(s)))
+            .chain(self.records.iter().map(|r| (r.at, Item::Record(r))))
+            .collect();
+        items.sort_by_key(|&(at, _)| at);
+        let mut out = String::new();
+        for (_, item) in items {
+            let json = match item {
+                Item::Span(s) => s.to_json(),
+                Item::Record(r) => Json::obj(vec![
+                    ("type", Json::from("event")),
+                    ("at_ns", Json::from(r.at.as_nanos())),
+                    ("level", Json::from(r.level.to_string())),
+                    ("component", Json::from(r.component.as_str())),
+                    ("kind", Json::from(r.kind.as_str())),
+                    ("detail", Json::from(r.detail.as_str())),
+                ]),
+            };
+            out.push_str(&json.to_string());
+            out.push('\n');
+        }
+        out
     }
 
     /// Render the whole trace as text (debugging aid).
@@ -258,6 +424,20 @@ impl Trace {
         for r in &self.records {
             s.push_str(&r.to_string());
             s.push('\n');
+        }
+        for sp in &self.spans {
+            s.push_str(&format!(
+                "[{:>14}] SPAN  {} {} {} ({})\n",
+                sp.start.to_string(),
+                sp.component,
+                sp.name,
+                sp.duration(),
+                sp.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ));
         }
         s
     }
@@ -274,37 +454,53 @@ mod tests {
     #[test]
     fn emit_and_query() {
         let mut tr = Trace::new();
-        tr.phase(t(1), "vmm", "migration.start", "vm0");
+        let sp = tr.begin_span("vmm", "migration", t(1)).label("vm", "vm0");
         tr.info(t(2), "vmm", "precopy.round", "round 1");
-        tr.phase(t(5), "vmm", "migration.end", "vm0");
-        assert_eq!(tr.len(), 3);
+        tr.end_span(sp, t(5));
+        assert_eq!(tr.len(), 1);
         assert_eq!(tr.of_kind("precopy.round").count(), 1);
         assert_eq!(tr.span("migration"), Some(SimDuration::from_secs(4)));
+        assert_eq!(tr.all_spans()[0].label("vm"), Some("vm0"));
     }
 
     #[test]
-    fn span_requires_matching_end() {
-        let mut tr = Trace::new();
-        tr.phase(t(1), "x", "phase.start", "");
+    fn span_envelope_requires_recorded_span() {
+        let tr = Trace::new();
         assert_eq!(tr.span("phase"), None);
     }
 
     #[test]
     fn multiple_spans_sum() {
         let mut tr = Trace::new();
-        tr.phase(t(1), "h", "hotplug.start", "");
-        tr.phase(t(3), "h", "hotplug.end", "");
-        tr.phase(t(10), "h", "hotplug.start", "");
-        tr.phase(t(11), "h", "hotplug.end", "");
+        tr.record_span(SpanBuilder::new("h", "hotplug", t(1)).end(t(3)));
+        tr.record_span(SpanBuilder::new("h", "hotplug", t(10)).end(t(11)));
         assert_eq!(tr.spans("hotplug").len(), 2);
         assert_eq!(tr.total_span("hotplug"), SimDuration::from_secs(3));
+        // Envelope spans the outer interval.
+        assert_eq!(tr.span("hotplug"), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn spans_of_filters_by_component() {
+        let mut tr = Trace::new();
+        tr.record_span(SpanBuilder::new("ninja", "detach", t(1)).end(t(5)));
+        tr.record_span(
+            SpanBuilder::new("symvirt", "detach", t(1))
+                .label("vm", "a")
+                .end(t(2)),
+        );
+        assert_eq!(tr.spans_of("ninja", "detach").len(), 1);
+        assert_eq!(tr.spans_of("symvirt", "detach").len(), 1);
+        assert_eq!(tr.spans("detach").len(), 2);
     }
 
     #[test]
     fn disabled_trace_drops() {
         let mut tr = Trace::disabled();
         tr.info(t(1), "x", "y", "z");
+        tr.record_span(SpanBuilder::new("a", "b", t(1)).end(t(2)));
         assert!(tr.is_empty());
+        assert!(tr.all_spans().is_empty());
     }
 
     #[test]
@@ -326,11 +522,41 @@ mod tests {
     }
 
     #[test]
+    fn ring_cap_bounds_memory_and_counts_drops() {
+        let mut tr = Trace::new();
+        tr.set_capacity(Some(10));
+        for i in 0..100 {
+            tr.info(t(i), "x", "tick", "");
+        }
+        assert!(tr.len() <= 20, "amortized bound: {}", tr.len());
+        assert!(tr.dropped() > 0);
+        // The newest record always survives.
+        assert_eq!(tr.records().last().unwrap().at, t(99));
+        let before = tr.dropped();
+        for i in 0..50 {
+            tr.record_span(SpanBuilder::new("x", "s", t(i)).end(t(i + 1)));
+        }
+        assert!(tr.all_spans().len() <= 20);
+        assert!(tr.dropped() > before);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_immediately() {
+        let mut tr = Trace::new();
+        for i in 0..30 {
+            tr.info(t(i), "x", "tick", "");
+        }
+        tr.set_capacity(Some(5));
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.dropped(), 25);
+    }
+
+    #[test]
     fn chrome_json_has_complete_and_instant_events() {
         let mut tr = Trace::new();
-        tr.phase(t(1), "vmm", "migration.start", "");
+        let sp = tr.begin_span("vmm", "migration", t(1));
         tr.info(t(2), "vmm", "precopy.round", "1");
-        tr.phase(t(5), "vmm", "migration.end", "");
+        tr.end_span(sp, t(5));
         let json = tr.to_chrome_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"ph\":\"X\""), "complete span: {json}");
@@ -348,12 +574,44 @@ mod tests {
     }
 
     #[test]
+    fn chrome_json_parses_and_labels_become_args() {
+        let mut tr = Trace::new();
+        tr.record_span(
+            SpanBuilder::new("symvirt", "detach", t(1))
+                .label("vm", "j0v0")
+                .end(t(2)),
+        );
+        let doc = crate::export::parse(&tr.to_chrome_json()).unwrap();
+        let ev = &doc["traceEvents"][0];
+        assert_eq!(ev["ph"].as_str(), Some("X"));
+        assert_eq!(ev["args"]["vm"].as_str(), Some("j0v0"));
+    }
+
+    #[test]
+    fn jsonl_interleaves_in_time_order() {
+        let mut tr = Trace::new();
+        tr.info(t(5), "x", "late", "");
+        tr.record_span(SpanBuilder::new("x", "early", t(1)).end(t(2)));
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"early\""));
+        assert!(lines[1].contains("\"late\""));
+        for line in lines {
+            crate::export::parse(line).expect("each line is a JSON document");
+        }
+    }
+
+    #[test]
     fn render_contains_fields() {
         let mut tr = Trace::new();
         tr.warn(t(1), "net.ib", "link.polling", "port 1");
+        tr.record_span(SpanBuilder::new("net.ib", "linkup", t(2)).end(t(30)));
         let s = tr.render();
         assert!(s.contains("WARN"));
         assert!(s.contains("net.ib"));
         assert!(s.contains("link.polling"));
+        assert!(s.contains("SPAN"));
+        assert!(s.contains("linkup"));
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::error::SymVirtError;
 use ninja_cluster::{DataCenter, NodeId};
-use ninja_sim::{SimDuration, SimRng, SimTime};
+use ninja_sim::{SimDuration, SimRng, SimTime, Span, SpanBuilder};
 use ninja_vmm::{MonitorCommand, MonitorReply, PrecopyPlan, QemuMonitor, VmId, VmPool, VmState};
 
 /// One agent's record of a completed action (for the controller's log).
@@ -67,6 +67,8 @@ pub struct Controller {
     hostlist: Vec<VmId>,
     monitor: QemuMonitor,
     log: Vec<AgentAction>,
+    spans: Vec<Span>,
+    hotplug_leaked: u64,
     closed: bool,
     /// Agents whose QEMU monitor connection has dropped (failure
     /// injection / crash simulation).
@@ -81,9 +83,41 @@ impl Controller {
             hostlist,
             monitor,
             log: Vec::new(),
+            spans: Vec::new(),
+            hotplug_leaked: 0,
             closed: false,
             failed_agents: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Record a per-VM phase span (component `symvirt`, labeled with the
+    /// VM's name) alongside the script-style action log.
+    fn record_vm_span(
+        &mut self,
+        phase: &str,
+        pool: &VmPool,
+        vm: VmId,
+        started: SimTime,
+        end: SimTime,
+    ) {
+        self.spans.push(
+            SpanBuilder::new("symvirt", phase, started)
+                .label("vm", pool.get(vm).name.clone())
+                .end(end),
+        );
+    }
+
+    /// Drain the typed per-VM spans accumulated since the last call
+    /// (the orchestrator records them into the world trace).
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Total IB resources the monitor reported as leaked during device
+    /// detaches (nonzero only under forced unplug) — surfaced as the
+    /// hotplug-retry count in the metrics registry.
+    pub fn hotplug_leaked(&self) -> u64 {
+        self.hotplug_leaked
     }
 
     /// Simulate the crash of the agent serving `vm`: its monitor
@@ -173,8 +207,13 @@ impl Controller {
                 rng,
                 during_migration,
             )?;
-            if let MonitorReply::DeviceDeleted { duration, .. } = reply {
+            if let MonitorReply::DeviceDeleted {
+                duration, leaked, ..
+            } = reply
+            {
                 max = max.max(duration);
+                self.hotplug_leaked += leaked as u64;
+                self.record_vm_span("detach", pool, vm, now, now + duration);
                 self.log.push(AgentAction {
                     vm,
                     action: format!("device_del {tag}"),
@@ -224,6 +263,7 @@ impl Controller {
             {
                 max = max.max(duration);
                 link_max = Some(link_max.map_or(link_active_at, |m| m.max(link_active_at)));
+                self.record_vm_span("attach", pool, vm, now, now + duration);
                 self.log.push(AgentAction {
                     vm,
                     action: "device_add ib-hca".into(),
@@ -269,6 +309,7 @@ impl Controller {
             )?;
             if let MonitorReply::MigrationDone { plan, completes_at } = reply {
                 completed_at = completed_at.max(completes_at);
+                self.record_vm_span("migration", pool, vm, now, completes_at);
                 self.log.push(AgentAction {
                     vm,
                     action: format!("migrate -> {}", dc.node(dst).hostname),
@@ -451,6 +492,30 @@ mod tests {
         for &vm in &vms {
             assert_eq!(pool.get(vm).passthrough.len(), 1);
         }
+    }
+
+    #[test]
+    fn phases_produce_per_vm_spans() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        let eth_nodes: Vec<NodeId> = dc.cluster(ninja_cluster::ClusterId(1)).nodes[..4].to_vec();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, true)
+            .unwrap();
+        ctl.migration(&eth_nodes, &mut pool, &mut dc, SimTime::ZERO, &mut rng)
+            .unwrap();
+        let spans = ctl.take_spans();
+        assert_eq!(spans.len(), 8, "4 detach + 4 migration");
+        for s in &spans {
+            assert_eq!(s.component, "symvirt");
+            assert!(s.end >= s.start, "well-formed span");
+            let vm = s.label("vm").expect("vm label");
+            assert!(vm.starts_with("vm"), "vm name label, got {vm}");
+        }
+        assert_eq!(spans.iter().filter(|s| s.name == "detach").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.name == "migration").count(), 4);
+        assert!(ctl.take_spans().is_empty(), "take drains");
+        assert_eq!(ctl.hotplug_leaked(), 0, "graceful detach leaks nothing");
     }
 
     #[test]

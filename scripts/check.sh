@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite — all
+# offline (the workspace has no crates.io dependencies; proptest and
+# criterion are vendored stubs gated behind off-by-default features).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "all checks passed"

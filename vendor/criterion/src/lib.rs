@@ -1,0 +1,140 @@
+//! Minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The real `criterion` crate cannot be fetched in offline builds.
+//! This vendored crate keeps the workspace's `[[bench]]` targets
+//! compiling and producing wall-clock numbers: each benchmark runs a
+//! short warmup, then a fixed number of timed samples, and prints the
+//! median/mean per-iteration time. There is no statistical analysis,
+//! HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. Accepted for API
+/// compatibility; this stub runs one setup per timed iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    warmup_iters: u32,
+    sample_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup_iters: 3,
+            sample_iters: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup_iters: self.warmup_iters,
+            sample_iters: self.sample_iters,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Collects timed samples for a single benchmark.
+pub struct Bencher {
+    warmup_iters: u32,
+    sample_iters: u32,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` value per
+    /// iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.sample_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<44} no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{id:<44} median {median:>12?}  mean {mean:>12?}  ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Groups benchmark functions into a single callable (simple
+/// `criterion_group!(name, fn, ...)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
