@@ -28,6 +28,11 @@ pub struct DrillReport {
     pub total_seconds: f64,
     /// Per-job migration reports, in evacuation order.
     pub migrations: Vec<NinjaReport>,
+    /// Per-job queue wait in seconds (trigger time → migration start),
+    /// aligned with `migrations`. Under serial evacuation job *k* waits
+    /// for the first *k−1* to finish; a fleet run with a higher
+    /// concurrency cap shrinks these.
+    pub queue_wait_s: Vec<f64>,
 }
 
 impl ToJson for DrillReport {
@@ -36,8 +41,39 @@ impl ToJson for DrillReport {
             ("jobs", Json::from(self.jobs)),
             ("vms", Json::from(self.vms)),
             ("total_seconds", Json::from(self.total_seconds)),
+            (
+                "queue_wait_s",
+                Json::Arr(self.queue_wait_s.iter().map(|&w| Json::from(w)).collect()),
+            ),
             ("migrations", self.migrations.to_json()),
         ])
+    }
+}
+
+impl DrillReport {
+    /// CSV export, one row per evacuated job: queue wait plus the same
+    /// phase decomposition as the benchmark ledger.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "job,vms,queue_wait_s,coordination_s,detach_s,migration_s,attach_s,linkup_s,total_s,wire_bytes\n",
+        );
+        for (i, r) in self.migrations.iter().enumerate() {
+            let wait = self.queue_wait_s.get(i).copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+                i,
+                r.vm_count,
+                wait,
+                r.coordination.0,
+                r.detach.0,
+                r.migration.0,
+                r.attach.0,
+                r.linkup.0,
+                r.total(),
+                r.wire_bytes,
+            ));
+        }
+        out
     }
 }
 
@@ -129,12 +165,16 @@ pub fn evacuate_cluster(
     };
     let started: SimTime = world.clock;
     let mut migrations = Vec::new();
+    let mut queue_wait_s = Vec::new();
     let mut vms = 0usize;
     for (job, dsts) in jobs.iter_mut().zip(plans) {
         if dsts.is_empty() {
             continue;
         }
         vms += job.layout().vms().len();
+        // All jobs are triggered at drill start; a job's migration
+        // begins only when the serial loop reaches it.
+        queue_wait_s.push(world.clock.since(started).as_secs_f64());
         let report = orch
             .migrate(world, job, &dsts)
             .map_err(DrillError::Migration)?;
@@ -145,6 +185,7 @@ pub fn evacuate_cluster(
         vms,
         total_seconds: world.clock.since(started).as_secs_f64(),
         migrations,
+        queue_wait_s,
     })
 }
 
@@ -209,6 +250,42 @@ mod tests {
         for &n in &w.dc.cluster(from).nodes {
             assert_eq!(w.dc.node(n).committed_vcpus(), 0);
         }
+    }
+
+    #[test]
+    fn serial_drill_records_queue_wait() {
+        let mut w = World::agc(1604);
+        let (mut a, mut b) = two_jobs(&mut w);
+        let from = w.ib_cluster;
+        let to = w.eth_cluster;
+        let report = evacuate_cluster(
+            &mut w,
+            &mut [&mut a, &mut b],
+            from,
+            to,
+            &NinjaOrchestrator::default(),
+        )
+        .unwrap();
+        assert_eq!(report.queue_wait_s.len(), 2);
+        assert_eq!(report.queue_wait_s[0], 0.0, "first job starts immediately");
+        // Serial loop: the second job waits out the whole first migration.
+        let first_total = report.migrations[0].total();
+        assert!(
+            (report.queue_wait_s[1] - first_total).abs() < 1e-6,
+            "wait {} vs first job total {}",
+            report.queue_wait_s[1],
+            first_total
+        );
+        let j = report.to_json();
+        let waits = j["queue_wait_s"].as_array().unwrap();
+        assert_eq!(waits.len(), 2);
+        let wait_json = waits[1].as_f64().unwrap();
+        assert!((wait_json - first_total).abs() < 1e-6, "{wait_json}");
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("job,vms,queue_wait_s,"));
+        assert_eq!(csv.lines().count(), 3, "header + 2 jobs");
+        assert!(csv.lines().nth(2).unwrap().starts_with("1,2,"));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod orchestrator;
 pub mod placement;
 pub mod report;
 pub mod scheduler;
+pub mod stepper;
 pub mod world;
 
 pub use drill::{evacuate_cluster, plan_evacuation, DrillError, DrillReport};
@@ -61,6 +62,7 @@ pub use orchestrator::{NinjaOrchestrator, PHASE_NAMES};
 pub use placement::{PlacementPlan, PlacementPlanner, PlacementPolicy, PowerModel};
 pub use report::{NinjaReport, SimSecs};
 pub use scheduler::{CloudScheduler, Trigger, TriggerReason};
+pub use stepper::{MigrationMachine, StepOutcome, WireMode};
 pub use world::World;
 
 // Re-export the substrate crates so downstream users need one dependency.

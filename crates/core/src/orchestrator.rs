@@ -16,10 +16,11 @@
 //! a [`NinjaReport`] with the paper's overhead breakdown.
 
 use crate::report::NinjaReport;
+use crate::stepper::{MigrationMachine, StepOutcome, WireMode};
 use crate::world::World;
 use ninja_cluster::NodeId;
-use ninja_sim::{SimDuration, SimTime, Span, SpanBuilder};
-use ninja_symvirt::{Controller, GuestCooperative, ResumeOutcome, SymVirtError};
+use ninja_sim::SpanBuilder;
+use ninja_symvirt::{Controller, GuestCooperative, SymVirtError};
 use ninja_vmm::{MigrationConfig, QemuMonitor};
 
 /// The five phases of Fig. 4, in causal order. Every migration records
@@ -112,6 +113,10 @@ impl NinjaOrchestrator {
     }
 
     /// Migrate any cooperative guest application (MPI or otherwise).
+    ///
+    /// Runs a [`MigrationMachine`] to completion in queueing wire mode,
+    /// advancing `world.clock` through every phase — the single-job
+    /// specialization of the fleet engine's interleaved stepping.
     pub fn migrate_app(
         &self,
         world: &mut World,
@@ -121,230 +126,21 @@ impl NinjaOrchestrator {
         if dsts.is_empty() {
             return Err(SymVirtError::EmptyHostlist);
         }
-        let vms = app.vms();
-        let transport_before = app.transport_label();
-        let t_start = world.clock;
-
-        // --- 1. guest side: consistent state, resources released,
-        //        SymVirt wait --------------------------------------------
-        let prep = app.prepare_for_blackout(&world.pool, &mut world.dc, world.clock)?;
-        for &vm in &vms {
-            world.pool.pause(vm).map_err(SymVirtError::Vmm)?;
-        }
-        world.advance(prep.duration);
-        let coordination = prep.duration;
-        let t_coord_end = world.clock;
-
-        // --- 2. host side: controller over the job's VMs --------------
-        let mut ctl = Controller::new(vms.clone(), self.monitor.clone());
-        ctl.wait_all(&world.pool)?;
-
-        // A "real" move (to different nodes) makes hotplug noisy.
-        let real_move = vms
-            .iter()
-            .enumerate()
-            .any(|(i, &vm)| world.pool.get(vm).node != dsts[i % dsts.len()]);
-
-        // --- 3. detach the VMM-bypass devices --------------------------
-        let detach = ctl.device_detach(
-            "hca-",
-            &mut world.pool,
-            &mut world.dc,
-            world.clock,
-            &mut world.rng,
-            real_move,
-        )?;
-        world.advance(detach.duration);
-        let t_detach_end = world.clock;
-
-        // --- 4. live migration -----------------------------------------
-        let mig_started = world.clock;
-        let mig = ctl.migration(
-            dsts,
-            &mut world.pool,
-            &mut world.dc,
-            world.clock,
-            &mut world.rng,
-        )?;
-        world.advance_to(mig.completed_at);
-        let migration_time = mig.completed_at.since(mig_started);
-        let t_mig_end = world.clock;
-
-        // --- 5. re-attach where the destination has HCAs ---------------
-        let attach = ctl.device_attach(
-            &mut world.pool,
-            &mut world.dc,
-            world.clock,
-            &mut world.rng,
-            real_move,
-        )?;
-        world.advance(attach.duration);
-        let t_attach_end = world.clock;
-
-        // --- 6. SymVirt signal: resume the guests -----------------------
-        ctl.signal(&mut world.pool)?;
-        let vm_spans = ctl.take_spans();
-        let hotplug_leaked = ctl.hotplug_leaked();
-        ctl.close();
-
-        // --- 7. confirm link-up + BTL reconstruction --------------------
-        // The application resumes inside the continue callback. If the
-        // runtime is going to rebuild modules and IB links are training,
-        // it must wait for them ("confirm linkup" in Fig. 4); if it keeps
-        // its TCP connections it continues immediately.
-        let mut linkup = SimDuration::ZERO;
-        if app.needs_link_wait() {
-            if let Some(active_at) = attach.link_active_at {
-                if active_at > world.clock {
-                    linkup = active_at.since(world.clock);
-                    world.advance_to(active_at);
+        let mut machine =
+            MigrationMachine::new(self.monitor.clone(), app.vms(), dsts.to_vec(), world.clock);
+        let mut wire = WireMode::Queueing;
+        loop {
+            match machine.step(world, app, &mut wire)? {
+                StepOutcome::Ready => world.advance_to(machine.now()),
+                StepOutcome::Done(report) => {
+                    world.advance_to(machine.now());
+                    return Ok(report);
+                }
+                StepOutcome::Waiting(_) => {
+                    unreachable!("queueing wire mode never blocks on the wire")
                 }
             }
         }
-        let t_linkup_end = world.clock;
-        let outcome = app.resume_after_blackout(&world.pool, &mut world.dc, world.clock)?;
-        let btl_reconstructed = matches!(outcome, ResumeOutcome::Rebuilt);
-        let transport_after = app.transport_label();
-
-        let report = NinjaReport::new(
-            coordination,
-            detach.duration,
-            migration_time,
-            attach.duration,
-            linkup,
-            mig.total_wire_bytes(),
-            transport_before,
-            transport_after,
-            btl_reconstructed,
-            vms.len(),
-        );
-        let windows = [
-            (PHASE_NAMES[0], t_start, t_coord_end),
-            (PHASE_NAMES[1], t_coord_end, t_detach_end),
-            (PHASE_NAMES[2], t_detach_end, t_mig_end),
-            (PHASE_NAMES[3], t_mig_end, t_attach_end),
-            (PHASE_NAMES[4], t_attach_end, t_linkup_end),
-        ];
-        let per_vm_wire: Vec<(String, u64)> = vms
-            .iter()
-            .zip(mig.plans.iter())
-            .map(|(&vm, p)| (world.pool.get(vm).name.clone(), p.wire_bytes().get()))
-            .collect();
-        self.record_telemetry(
-            world,
-            &report,
-            &vms,
-            &windows,
-            vm_spans,
-            per_vm_wire,
-            hotplug_leaked,
-            t_start,
-        );
-        Ok(report)
-    }
-
-    /// Record the job-level phase spans, fill in per-VM spans for phases
-    /// the controller skipped on a VM (so every VM shows one complete
-    /// span per phase), and update the metrics registry.
-    #[allow(clippy::too_many_arguments)]
-    fn record_telemetry(
-        &self,
-        world: &mut World,
-        report: &NinjaReport,
-        vms: &[ninja_vmm::VmId],
-        windows: &[(&str, SimTime, SimTime); 5],
-        vm_spans: Vec<Span>,
-        per_vm_wire: Vec<(String, u64)>,
-        hotplug_leaked: u64,
-        t_start: SimTime,
-    ) {
-        // Job-level phase spans (component "ninja").
-        for &(name, start, end) in windows {
-            let mut sb = SpanBuilder::new("ninja", name, start);
-            if name == "migration" {
-                sb = sb.label("wire_bytes", report.wire_bytes.to_string());
-            }
-            world.trace.record_span(sb.end(end));
-        }
-        // The whole migration as one envelope span.
-        let mut overall =
-            SpanBuilder::new("ninja", "ninja", t_start).label("vms", report.vm_count.to_string());
-        if let Some(t) = &report.transport_before {
-            overall = overall.label("transport_before", t.clone());
-        }
-        if let Some(t) = &report.transport_after {
-            overall = overall.label("transport_after", t.clone());
-        }
-        world.trace.record_span(overall.end(world.clock));
-
-        // Per-VM spans: the controller's real ones, plus the job window
-        // for any (phase, vm) pair it skipped (e.g. detach on an HCA-less
-        // VM), so every VM shows one span per phase.
-        let mut covered: std::collections::BTreeSet<(String, String)> = vm_spans
-            .iter()
-            .filter_map(|s| s.label("vm").map(|v| (s.name.clone(), v.to_string())))
-            .collect();
-        world.trace.record_spans(vm_spans);
-        for &(name, start, end) in windows {
-            for &vm in vms {
-                let vm_name = world.pool.get(vm).name.clone();
-                if covered.insert((name.to_string(), vm_name.clone())) {
-                    world.trace.record_span(
-                        SpanBuilder::new("symvirt", name, start)
-                            .label("vm", vm_name)
-                            .end(end),
-                    );
-                }
-            }
-        }
-
-        let m = &mut world.metrics;
-        m.describe("ninja_migrations_total", "Completed Ninja migrations");
-        m.describe(
-            "ninja_wire_bytes_total",
-            "Precopy bytes on the wire across all migrations",
-        );
-        m.describe(
-            "ninja_vm_wire_bytes_total",
-            "Precopy bytes on the wire, per VM",
-        );
-        m.describe(
-            "ninja_phase_duration_seconds",
-            "Duration of each migration phase",
-        );
-        m.describe(
-            "ninja_btl_reconstructions_total",
-            "BTL module reconstructions after migration",
-        );
-        m.describe(
-            "ninja_hotplug_retries_total",
-            "IB resources torn down unsafely during device detach",
-        );
-        m.describe(
-            "ninja_trace_dropped_records",
-            "Trace records evicted by the ring-buffer cap",
-        );
-        m.inc("ninja_migrations_total", &[], 1);
-        m.inc("ninja_wire_bytes_total", &[], report.wire_bytes);
-        m.inc("ninja_hotplug_retries_total", &[], hotplug_leaked);
-        if report.btl_reconstructed {
-            m.inc("ninja_btl_reconstructions_total", &[], 1);
-        }
-        for (vm_name, bytes) in &per_vm_wire {
-            m.inc("ninja_vm_wire_bytes_total", &[("vm", vm_name)], *bytes);
-        }
-        for &(name, start, end) in windows {
-            m.observe_duration(
-                "ninja_phase_duration_seconds",
-                &[("phase", name)],
-                end.since(start),
-            );
-        }
-        m.set_gauge(
-            "ninja_trace_dropped_records",
-            &[],
-            world.trace.dropped() as f64,
-        );
     }
 }
 

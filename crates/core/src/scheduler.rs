@@ -35,6 +35,10 @@ pub struct Trigger {
     pub dsts: Vec<NodeId>,
     /// The reason.
     pub reason: TriggerReason,
+    /// Which fleet job this trigger targets, when the scheduler drives a
+    /// multi-job fleet run. `None` for single-job workloads, which only
+    /// look at `dsts`.
+    pub job: Option<usize>,
 }
 
 /// A time-ordered queue of migration triggers.
@@ -52,11 +56,31 @@ impl CloudScheduler {
     /// Append a trigger. Triggers must be pushed in nondecreasing time
     /// order (the scheduler plans ahead).
     pub fn push(&mut self, at: SimTime, dsts: Vec<NodeId>, reason: TriggerReason) {
+        self.push_trigger(at, dsts, reason, None);
+    }
+
+    /// Append a trigger aimed at fleet job `job` (same ordering rules).
+    pub fn push_job(&mut self, at: SimTime, dsts: Vec<NodeId>, reason: TriggerReason, job: usize) {
+        self.push_trigger(at, dsts, reason, Some(job));
+    }
+
+    fn push_trigger(
+        &mut self,
+        at: SimTime,
+        dsts: Vec<NodeId>,
+        reason: TriggerReason,
+        job: Option<usize>,
+    ) {
         if let Some(last) = self.queue.back() {
             assert!(at >= last.at, "triggers must be scheduled in order");
         }
         assert!(!dsts.is_empty(), "trigger needs a destination host list");
-        self.queue.push_back(Trigger { at, dsts, reason });
+        self.queue.push_back(Trigger {
+            at,
+            dsts,
+            reason,
+            job,
+        });
     }
 
     /// Take the next trigger if it is due at or before `now`.
@@ -120,6 +144,15 @@ mod tests {
         let mut s = CloudScheduler::new();
         s.push(t(20), vec![NodeId(1)], TriggerReason::Fallback);
         s.push(t(10), vec![NodeId(2)], TriggerReason::Recovery);
+    }
+
+    #[test]
+    fn job_tagging_survives_the_queue() {
+        let mut s = CloudScheduler::new();
+        s.push(t(5), vec![NodeId(9)], TriggerReason::Fallback);
+        s.push_job(t(10), vec![NodeId(1)], TriggerReason::Placement, 3);
+        assert_eq!(s.poll(t(100)).unwrap().job, None);
+        assert_eq!(s.poll(t(100)).unwrap().job, Some(3));
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Resumable, step-wise Ninja migration state machine.
+//!
+//! [`NinjaOrchestrator::migrate`](crate::NinjaOrchestrator::migrate)
+//! used to execute the whole of Fig. 4 in one straight-line call, which
+//! is fine for a single job but makes it impossible for a simulation
+//! engine to *interleave* several jobs' migrations in virtual time. A
+//! [`MigrationMachine`] is the same control flow cut at the phase
+//! boundaries:
+//!
+//! ```text
+//! Start ──quiesce──▶ Quiesced ──detach──▶ Detached ──migrate──▶
+//!   Migrated ──attach──▶ Attached ──signal+linkup──▶ Done(report)
+//! ```
+//!
+//! Each [`step`](MigrationMachine::step) performs exactly one phase and
+//! advances the machine's *job-local* clock; the caller decides when to
+//! advance the world. The serial orchestrator simply steps the machine
+//! to completion, reproducing the old behaviour bit-for-bit (the
+//! monitor's `migrate` path draws nothing from the rng, and the hotplug
+//! draws happen in the same order). The fleet engine instead keeps many
+//! machines in flight, stepping whichever is due next.
+//!
+//! The migration phase has two wire modes ([`WireMode`]): *queueing*
+//! (the classic serializing [`SharedLink`](ninja_net::SharedLink) path
+//! reservation, used by the serial orchestrator) and *fair-share*, where
+//! every VM's precopy stream becomes a flow on a shared
+//! [`FairShareLink`] uplink and concurrent migrations split bandwidth
+//! max-min fairly — that is what makes fleet contention measurable.
+
+use crate::report::NinjaReport;
+use crate::world::World;
+use ninja_cluster::NodeId;
+use ninja_net::{FairShareLink, FlowId};
+use ninja_sim::{Bytes, SimDuration, SimTime, Span, SpanBuilder};
+use ninja_symvirt::{
+    Controller, DevicePhase, GuestCooperative, PendingMigration, ResumeOutcome, SymVirtError,
+};
+use ninja_vmm::{PrecopyPlan, QemuMonitor, VmId};
+
+/// How the migration phase puts precopy bytes on the wire.
+pub enum WireMode<'a> {
+    /// The serializing path reservation on the source/destination NICs
+    /// and WAN (`DataCenter::reserve_migration_path`) — concurrent
+    /// transfers queue. This is the single-job orchestrator's mode.
+    Queueing,
+    /// Every VM's stream is a flow on this shared uplink; concurrent
+    /// streams split bandwidth max-min fairly. The caller owns the link
+    /// and must advance it alongside the world clock.
+    FairShare(&'a mut FairShareLink),
+}
+
+/// What a [`MigrationMachine::step`] call produced.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The phase completed; the machine's clock moved to
+    /// [`MigrationMachine::now`] and the next phase can run as soon as
+    /// the world reaches that instant.
+    Ready,
+    /// The machine is blocked on the wire (fair-share mode): nothing to
+    /// do before the given instant. Advance the link and the world, then
+    /// step again.
+    Waiting(SimTime),
+    /// The migration finished; the report is the same breakdown the
+    /// one-shot orchestrator returns.
+    Done(NinjaReport),
+}
+
+/// One VM's in-flight precopy stream during the fair-share migration
+/// phase.
+struct Stream {
+    pending: PendingMigration,
+    /// `None` for a self-migration (loopback never touches the uplink).
+    flow: Option<FlowId>,
+    /// Page-scan / dirty-iteration schedule floor: the migration cannot
+    /// complete before this even on an idle wire.
+    floor: SimTime,
+}
+
+enum State {
+    Start,
+    Quiesced,
+    Detached,
+    Precopying(Vec<Stream>),
+    Migrated,
+    Attached,
+    Done,
+}
+
+/// A single Ninja migration, resumable one phase at a time.
+pub struct MigrationMachine {
+    ctl: Controller,
+    vms: Vec<VmId>,
+    dsts: Vec<NodeId>,
+    state: State,
+    now: SimTime,
+    t_start: SimTime,
+    t_coord_end: SimTime,
+    t_detach_end: SimTime,
+    t_mig_end: SimTime,
+    t_attach_end: SimTime,
+    transport_before: Option<String>,
+    real_move: bool,
+    coordination: SimDuration,
+    detach: SimDuration,
+    migration: SimDuration,
+    plans: Vec<PrecopyPlan>,
+    attach: Option<DevicePhase>,
+}
+
+impl MigrationMachine {
+    /// A machine migrating `vms` so VM *i* lands on `dsts[i % len]`,
+    /// starting at `start`. `monitor` carries the migration config.
+    pub fn new(monitor: QemuMonitor, vms: Vec<VmId>, dsts: Vec<NodeId>, start: SimTime) -> Self {
+        assert!(!dsts.is_empty(), "empty hostlist");
+        MigrationMachine {
+            ctl: Controller::new(vms.clone(), monitor),
+            vms,
+            dsts,
+            state: State::Start,
+            now: start,
+            t_start: start,
+            t_coord_end: start,
+            t_detach_end: start,
+            t_mig_end: start,
+            t_attach_end: start,
+            transport_before: None,
+            real_move: false,
+            coordination: SimDuration::ZERO,
+            detach: SimDuration::ZERO,
+            migration: SimDuration::ZERO,
+            plans: Vec::new(),
+            attach: None,
+        }
+    }
+
+    /// The machine's job-local clock: the instant its last completed
+    /// phase ended, i.e. when its next phase may start.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The VMs this machine migrates.
+    pub fn vms(&self) -> &[VmId] {
+        &self.vms
+    }
+
+    /// Has the machine produced its report?
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Run one phase. The caller must have advanced `world` (and, in
+    /// fair-share mode, the link) to at least [`now`](Self::now) — the
+    /// machine never reads the world clock, so stepping "in the past"
+    /// relative to other machines is the caller's bug, not detectable
+    /// here.
+    pub fn step(
+        &mut self,
+        world: &mut World,
+        app: &mut dyn GuestCooperative,
+        wire: &mut WireMode<'_>,
+    ) -> Result<StepOutcome, SymVirtError> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Start => {
+                self.transport_before = app.transport_label();
+                let prep = app.prepare_for_blackout(&world.pool, &mut world.dc, self.now)?;
+                for &vm in &self.vms {
+                    world.pool.pause(vm).map_err(SymVirtError::Vmm)?;
+                }
+                self.coordination = prep.duration;
+                self.now += prep.duration;
+                self.t_coord_end = self.now;
+                self.ctl.wait_all(&world.pool)?;
+                // A "real" move (to different nodes) makes hotplug noisy.
+                self.real_move = self
+                    .vms
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &vm)| world.pool.get(vm).node != self.dsts[i % self.dsts.len()]);
+                self.state = State::Quiesced;
+                Ok(StepOutcome::Ready)
+            }
+            State::Quiesced => {
+                let detach = self.ctl.device_detach(
+                    "hca-",
+                    &mut world.pool,
+                    &mut world.dc,
+                    self.now,
+                    &mut world.rng,
+                    self.real_move,
+                )?;
+                self.detach = detach.duration;
+                self.now += detach.duration;
+                self.t_detach_end = self.now;
+                self.state = State::Detached;
+                Ok(StepOutcome::Ready)
+            }
+            State::Detached => match wire {
+                WireMode::Queueing => {
+                    let mig = self.ctl.migration(
+                        &self.dsts,
+                        &mut world.pool,
+                        &mut world.dc,
+                        self.now,
+                        &mut world.rng,
+                    )?;
+                    self.migration = mig.completed_at.since(self.now);
+                    self.now = mig.completed_at;
+                    self.t_mig_end = self.now;
+                    self.plans = mig.plans;
+                    self.state = State::Migrated;
+                    Ok(StepOutcome::Ready)
+                }
+                WireMode::FairShare(link) => {
+                    let pending =
+                        self.ctl
+                            .migration_open(&self.dsts, &world.pool, &world.dc, self.now)?;
+                    let cfg = self.ctl.monitor().config();
+                    let sender_cap = if cfg.rdma_transport {
+                        None
+                    } else {
+                        Some(cfg.sender_cap)
+                    };
+                    let streams: Vec<Stream> = pending
+                        .into_iter()
+                        .map(|p| {
+                            let src = world.pool.get(p.vm).node;
+                            let floor = self.now + p.plan.duration();
+                            let flow = if src == p.dst {
+                                None // self-migration: loopback, no uplink
+                            } else {
+                                let nic = world.dc.node(src).spec.eth_bandwidth;
+                                let rate = sender_cap.map_or(nic, |s| s.min(nic));
+                                Some(link.open(self.now, p.plan.wire_bytes(), Some(rate)))
+                            };
+                            Stream {
+                                pending: p,
+                                flow,
+                                floor,
+                            }
+                        })
+                        .collect();
+                    self.state = State::Precopying(streams);
+                    self.poll_precopy(world, wire)
+                }
+            },
+            State::Precopying(streams) => {
+                self.state = State::Precopying(streams);
+                self.poll_precopy(world, wire)
+            }
+            State::Migrated => {
+                let attach = self.ctl.device_attach(
+                    &mut world.pool,
+                    &mut world.dc,
+                    self.now,
+                    &mut world.rng,
+                    self.real_move,
+                )?;
+                self.now += attach.duration;
+                self.t_attach_end = self.now;
+                self.attach = Some(attach);
+                self.state = State::Attached;
+                Ok(StepOutcome::Ready)
+            }
+            State::Attached => {
+                self.ctl.signal(&mut world.pool)?;
+                let vm_spans = self.ctl.take_spans();
+                let hotplug_leaked = self.ctl.hotplug_leaked();
+                self.ctl.close();
+                let attach = self.attach.take().expect("attach phase ran");
+                // Confirm link-up + BTL reconstruction: the application
+                // resumes inside the continue callback; if it will
+                // rebuild modules while IB links train it must wait.
+                let mut linkup = SimDuration::ZERO;
+                if app.needs_link_wait() {
+                    if let Some(active_at) = attach.link_active_at {
+                        if active_at > self.now {
+                            linkup = active_at.since(self.now);
+                            self.now = active_at;
+                        }
+                    }
+                }
+                let t_linkup_end = self.now;
+                let outcome = app.resume_after_blackout(&world.pool, &mut world.dc, self.now)?;
+                let btl_reconstructed = matches!(outcome, ResumeOutcome::Rebuilt);
+                let wire: Bytes = self.plans.iter().map(|p| p.wire_bytes()).sum();
+                let report = NinjaReport::new(
+                    self.coordination,
+                    self.detach,
+                    self.migration,
+                    attach.duration,
+                    linkup,
+                    wire,
+                    self.transport_before.clone(),
+                    app.transport_label(),
+                    btl_reconstructed,
+                    self.vms.len(),
+                );
+                let windows = [
+                    (crate::PHASE_NAMES[0], self.t_start, self.t_coord_end),
+                    (crate::PHASE_NAMES[1], self.t_coord_end, self.t_detach_end),
+                    (crate::PHASE_NAMES[2], self.t_detach_end, self.t_mig_end),
+                    (crate::PHASE_NAMES[3], self.t_mig_end, self.t_attach_end),
+                    (crate::PHASE_NAMES[4], self.t_attach_end, t_linkup_end),
+                ];
+                let per_vm_wire: Vec<(String, u64)> = self
+                    .vms
+                    .iter()
+                    .zip(self.plans.iter())
+                    .map(|(&vm, p)| (world.pool.get(vm).name.clone(), p.wire_bytes().get()))
+                    .collect();
+                record_job_telemetry(
+                    world,
+                    &report,
+                    &self.vms,
+                    &windows,
+                    vm_spans,
+                    per_vm_wire,
+                    hotplug_leaked,
+                    self.t_start,
+                );
+                self.state = State::Done;
+                Ok(StepOutcome::Done(report))
+            }
+            State::Done => Ok(StepOutcome::Waiting(SimTime::MAX)),
+        }
+    }
+
+    /// Fair-share mode: check whether every stream has drained (and its
+    /// scan floor passed); if so, land the VMs and close the phase.
+    fn poll_precopy(
+        &mut self,
+        world: &mut World,
+        wire: &mut WireMode<'_>,
+    ) -> Result<StepOutcome, SymVirtError> {
+        let WireMode::FairShare(link) = wire else {
+            unreachable!("precopying state only exists in fair-share mode");
+        };
+        let State::Precopying(streams) = &self.state else {
+            unreachable!("poll_precopy outside Precopying");
+        };
+        // Every stream's landing time, or the earliest instant we could
+        // learn more.
+        let mut mig_end = self.now;
+        for s in streams.iter() {
+            let wire_done = match s.flow {
+                None => self.now,
+                Some(f) => match link.completion(f) {
+                    Some(t) => t,
+                    None => {
+                        let next = link
+                            .next_completion()
+                            .expect("open flow implies a next completion");
+                        return Ok(StepOutcome::Waiting(next));
+                    }
+                },
+            };
+            mig_end = mig_end.max(wire_done.max(s.floor));
+        }
+        let State::Precopying(streams) = std::mem::replace(&mut self.state, State::Migrated) else {
+            unreachable!();
+        };
+        for s in &streams {
+            let wire_done = s.flow.and_then(|f| link.completion(f)).unwrap_or(self.now);
+            let completes_at = wire_done.max(s.floor);
+            self.ctl
+                .migration_commit(&s.pending, completes_at, &mut world.pool, &mut world.dc);
+        }
+        self.migration = mig_end.since(self.now);
+        self.plans = streams.into_iter().map(|s| s.pending.plan).collect();
+        self.now = mig_end;
+        self.t_mig_end = mig_end;
+        Ok(StepOutcome::Ready)
+    }
+}
+
+/// Record the job-level phase spans, fill in per-VM spans for phases the
+/// controller skipped on a VM (so every VM shows one complete span per
+/// phase), and update the metrics registry. Shared by the serial
+/// orchestrator and the fleet engine — both funnel through
+/// [`MigrationMachine`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_job_telemetry(
+    world: &mut World,
+    report: &NinjaReport,
+    vms: &[VmId],
+    windows: &[(&str, SimTime, SimTime); 5],
+    vm_spans: Vec<Span>,
+    per_vm_wire: Vec<(String, u64)>,
+    hotplug_leaked: u64,
+    t_start: SimTime,
+) {
+    // Job-level phase spans (component "ninja").
+    for &(name, start, end) in windows {
+        let mut sb = SpanBuilder::new("ninja", name, start);
+        if name == "migration" {
+            sb = sb.label("wire_bytes", report.wire_bytes.to_string());
+        }
+        world.trace.record_span(sb.end(end));
+    }
+    // The whole migration as one envelope span.
+    let t_end = windows[4].2;
+    let mut overall =
+        SpanBuilder::new("ninja", "ninja", t_start).label("vms", report.vm_count.to_string());
+    if let Some(t) = &report.transport_before {
+        overall = overall.label("transport_before", t.clone());
+    }
+    if let Some(t) = &report.transport_after {
+        overall = overall.label("transport_after", t.clone());
+    }
+    world.trace.record_span(overall.end(t_end));
+
+    // Per-VM spans: the controller's real ones, plus the job window
+    // for any (phase, vm) pair it skipped (e.g. detach on an HCA-less
+    // VM), so every VM shows one span per phase.
+    let mut covered: std::collections::BTreeSet<(String, String)> = vm_spans
+        .iter()
+        .filter_map(|s| s.label("vm").map(|v| (s.name.clone(), v.to_string())))
+        .collect();
+    world.trace.record_spans(vm_spans);
+    for &(name, start, end) in windows {
+        for &vm in vms {
+            let vm_name = world.pool.get(vm).name.clone();
+            if covered.insert((name.to_string(), vm_name.clone())) {
+                world.trace.record_span(
+                    SpanBuilder::new("symvirt", name, start)
+                        .label("vm", vm_name)
+                        .end(end),
+                );
+            }
+        }
+    }
+
+    let m = &mut world.metrics;
+    m.describe("ninja_migrations_total", "Completed Ninja migrations");
+    m.describe(
+        "ninja_wire_bytes_total",
+        "Precopy bytes on the wire across all migrations",
+    );
+    m.describe(
+        "ninja_vm_wire_bytes_total",
+        "Precopy bytes on the wire, per VM",
+    );
+    m.describe(
+        "ninja_phase_duration_seconds",
+        "Duration of each migration phase",
+    );
+    m.describe(
+        "ninja_btl_reconstructions_total",
+        "BTL module reconstructions after migration",
+    );
+    m.describe(
+        "ninja_hotplug_retries_total",
+        "IB resources torn down unsafely during device detach",
+    );
+    m.describe(
+        "ninja_trace_dropped_records",
+        "Trace records evicted by the ring-buffer cap",
+    );
+    m.inc("ninja_migrations_total", &[], 1);
+    m.inc("ninja_wire_bytes_total", &[], report.wire_bytes);
+    m.inc("ninja_hotplug_retries_total", &[], hotplug_leaked);
+    if report.btl_reconstructed {
+        m.inc("ninja_btl_reconstructions_total", &[], 1);
+    }
+    for (vm_name, bytes) in &per_vm_wire {
+        m.inc("ninja_vm_wire_bytes_total", &[("vm", vm_name)], *bytes);
+    }
+    for &(name, start, end) in windows {
+        m.observe_duration(
+            "ninja_phase_duration_seconds",
+            &[("phase", name)],
+            end.since(start),
+        );
+    }
+    m.set_gauge(
+        "ninja_trace_dropped_records",
+        &[],
+        world.trace.dropped() as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_sim::Bandwidth;
+
+    #[test]
+    fn stepwise_serial_run_matches_phase_order() {
+        let mut w = World::agc(61);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let mut wire = WireMode::Queueing;
+        let mut steps = 0;
+        let report = loop {
+            match m.step(&mut w, &mut rt, &mut wire).unwrap() {
+                StepOutcome::Ready => {
+                    w.advance_to(m.now());
+                    steps += 1;
+                }
+                StepOutcome::Done(r) => break r,
+                StepOutcome::Waiting(_) => panic!("queueing mode never waits"),
+            }
+        };
+        assert_eq!(steps, 4, "quiesce, detach, migrate, attach");
+        assert!(report.migration.0 > 10.0);
+        assert_eq!(w.clock, m.now(), "world caught up with the machine");
+    }
+
+    #[test]
+    fn fair_share_mode_waits_on_the_wire() {
+        let mut w = World::agc(62);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut link = FairShareLink::new(Bandwidth::from_gbps(10.0));
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let mut waited = false;
+        let report = loop {
+            let mut wire = WireMode::FairShare(&mut link);
+            match m.step(&mut w, &mut rt, &mut wire).unwrap() {
+                StepOutcome::Ready => w.advance_to(m.now()),
+                StepOutcome::Waiting(t) => {
+                    waited = true;
+                    link.advance_to(t);
+                    w.advance_to(t);
+                }
+                StepOutcome::Done(r) => break r,
+            }
+        };
+        assert!(waited, "fair mode blocks on flow drain");
+        assert!(report.migration.0 > 10.0, "{}", report.migration);
+        assert!(link.bytes_carried().get() > 0);
+        assert_eq!(link.active_flows(), 0);
+    }
+}

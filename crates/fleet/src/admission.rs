@@ -1,0 +1,129 @@
+//! Admission control for concurrent migrations.
+//!
+//! The fleet engine never starts more than `concurrency` migrations at
+//! once: a triggered job enters a FIFO ready queue and is *admitted*
+//! when a slot frees up. The gap between the trigger and the admission
+//! is the job's **queue wait** — one of the SLO quantities the paper's
+//! Section II-A use cases (evacuate *before the VMs crash*, drain
+//! *before the maintenance window closes*) care about.
+
+use ninja_cluster::NodeId;
+use ninja_migration::TriggerReason;
+use ninja_sim::SimTime;
+use std::collections::VecDeque;
+
+/// A triggered job waiting for an execution slot.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Fleet job index.
+    pub job: usize,
+    /// Destination host list (VM *i* of the job goes to `dsts[i % len]`).
+    pub dsts: Vec<NodeId>,
+    /// When the scheduler fired the trigger.
+    pub triggered_at: SimTime,
+    /// Why (reporting only).
+    pub reason: TriggerReason,
+}
+
+/// FIFO admission controller with a fixed concurrency cap.
+#[derive(Debug)]
+pub struct AdmissionController {
+    cap: usize,
+    ready: VecDeque<QueuedJob>,
+    inflight: usize,
+    peak_depth: usize,
+}
+
+impl AdmissionController {
+    /// A controller that runs at most `cap` migrations at once.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "concurrency cap must be at least 1");
+        AdmissionController {
+            cap,
+            ready: VecDeque::new(),
+            inflight: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// The concurrency cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Queue a triggered job.
+    pub fn enqueue(&mut self, job: QueuedJob) {
+        self.ready.push_back(job);
+        self.peak_depth = self.peak_depth.max(self.ready.len());
+    }
+
+    /// Admit the next queued job if a slot is free. The caller owns the
+    /// released slot's lifecycle: call [`release`](Self::release) when
+    /// the admitted migration finishes.
+    pub fn admit(&mut self) -> Option<QueuedJob> {
+        if self.inflight < self.cap {
+            let job = self.ready.pop_front()?;
+            self.inflight += 1;
+            Some(job)
+        } else {
+            None
+        }
+    }
+
+    /// Return a slot after an admitted migration completes.
+    pub fn release(&mut self) {
+        debug_assert!(self.inflight > 0, "release without admit");
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+
+    /// Jobs currently queued (triggered, not yet admitted).
+    pub fn depth(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Migrations currently holding a slot.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// The deepest the ready queue ever got.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(job: usize) -> QueuedJob {
+        QueuedJob {
+            job,
+            dsts: vec![NodeId(0)],
+            triggered_at: SimTime::ZERO,
+            reason: TriggerReason::Fallback,
+        }
+    }
+
+    #[test]
+    fn cap_limits_inflight() {
+        let mut a = AdmissionController::new(2);
+        for i in 0..4 {
+            a.enqueue(q(i));
+        }
+        assert_eq!(a.peak_depth(), 4);
+        assert_eq!(a.admit().unwrap().job, 0);
+        assert_eq!(a.admit().unwrap().job, 1);
+        assert!(a.admit().is_none(), "cap reached");
+        assert_eq!(a.inflight(), 2);
+        assert_eq!(a.depth(), 2);
+        a.release();
+        assert_eq!(a.admit().unwrap().job, 2, "FIFO order");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_rejected() {
+        AdmissionController::new(0);
+    }
+}

@@ -7,9 +7,20 @@
 //! ninja selfmig    [--vms N] [--seed S] [--json]
 //! ninja checkpoint [--vms N] [--footprint-gib G] [--seed S] [--json]
 //! ninja fig8       [--ppv P] [--seed S]
-//! ninja evacuate   [--vms N] [--seed S] [--json]
+//! ninja evacuate   [--vms N] [--concurrency C] [--seed S] [--json]
+//! ninja fleet      [--jobs J] [--vms-per-job V] [--concurrency C]
+//!                  [--arrival SECS] [--deadline SECS] [--uplink-gbps G]
+//!                  [--scenario evacuation|drain|rebalance] [--seed S] [--json]
 //! ninja trace summarize FILE
 //! ```
+//!
+//! `ninja fleet` runs many overlapping Ninja migrations through the
+//! fleet engine: jobs are triggered by a cloud-scheduler schedule,
+//! admitted under a concurrency cap, and their precopy streams split a
+//! shared switch uplink max-min fairly. The output is an SLO report:
+//! p50/p99 blackout, p50/p99 queue wait, drain makespan, wire bytes,
+//! deadline misses. `ninja evacuate` is the same engine at
+//! `--concurrency 1` (the backward-compatible serial drill).
 //!
 //! Telemetry flags (any run command):
 //!
@@ -27,8 +38,13 @@
 //!
 //! Every run is deterministic in `--seed`.
 
-use ninja_migration::{NinjaOrchestrator, NinjaReport, World};
-use ninja_sim::{Json, ToJson};
+use ninja_fleet::{build, run_fleet, FleetConfig, ScenarioKind, ScenarioSpec};
+use ninja_migration::{
+    plan_evacuation, CloudScheduler, DrillReport, NinjaOrchestrator, NinjaReport, TriggerReason,
+    World,
+};
+use ninja_sim::{Bandwidth, Json, SimDuration, ToJson};
+use ninja_symvirt::GuestCooperative;
 use ninja_vmm::SnapshotStore;
 use std::process::exit;
 
@@ -39,6 +55,13 @@ struct Args {
     footprint_gib: u64,
     ppv: u32,
     to: String,
+    jobs: usize,
+    vms_per_job: usize,
+    concurrency: usize,
+    arrival: u64,
+    deadline: Option<u64>,
+    uplink_gbps: f64,
+    scenario: String,
     json: bool,
     trace: bool,
     trace_out: Option<String>,
@@ -48,8 +71,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ninja <migrate|fallback|roundtrip|selfmig|checkpoint|fig8|evacuate> \
+        "usage: ninja <migrate|fallback|roundtrip|selfmig|checkpoint|fig8|evacuate|fleet> \
          [--vms N] [--procs P] [--ppv P] [--to eth|ib] [--footprint-gib G] [--seed S] \
+         [--jobs J] [--vms-per-job V] [--concurrency C] [--arrival SECS] [--deadline SECS] \
+         [--uplink-gbps G] [--scenario evacuation|drain|rebalance] \
          [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N]\n\
          \x20      ninja trace summarize FILE"
     );
@@ -64,6 +89,13 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
         footprint_gib: 8,
         ppv: 1,
         to: "eth".into(),
+        jobs: 8,
+        vms_per_job: 1,
+        concurrency: 1,
+        arrival: 30,
+        deadline: None,
+        uplink_gbps: 10.0,
+        scenario: "evacuation".into(),
         json: false,
         trace: false,
         trace_out: None,
@@ -83,9 +115,31 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--ppv" => args.ppv = value("--ppv") as u32,
             "--seed" => args.seed = value("--seed"),
             "--footprint-gib" => args.footprint_gib = value("--footprint-gib"),
+            "--jobs" => args.jobs = value("--jobs") as usize,
+            "--vms-per-job" => args.vms_per_job = value("--vms-per-job") as usize,
+            "--concurrency" => args.concurrency = value("--concurrency") as usize,
+            "--arrival" => args.arrival = value("--arrival"),
+            "--deadline" => args.deadline = Some(value("--deadline")),
             "--trace-cap" => args.trace_cap = Some(value("--trace-cap") as usize),
             "--json" => args.json = true,
             "--trace" => args.trace = true,
+            "--uplink-gbps" => {
+                args.uplink_gbps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|g: &f64| *g > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--uplink-gbps needs a positive numeric value");
+                        usage()
+                    });
+            }
+            "--scenario" => {
+                args.scenario = it.next().unwrap_or_else(|| usage());
+                if ScenarioKind::parse(&args.scenario).is_none() {
+                    eprintln!("--scenario must be evacuation, drain, or rebalance");
+                    usage()
+                }
+            }
             "--to" => {
                 args.to = it.next().unwrap_or_else(|| usage());
                 if args.to != "eth" && args.to != "ib" {
@@ -104,6 +158,17 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
     }
     if args.vms == 0 || args.vms > 8 || args.procs == 0 || args.procs > 8 {
         eprintln!("--vms must be 1..=8 and --procs 1..=8 (AGC testbed limits)");
+        exit(2);
+    }
+    if args.jobs == 0
+        || args.vms_per_job == 0
+        || args.jobs * args.vms_per_job > 8
+        || args.concurrency == 0
+    {
+        eprintln!(
+            "--jobs x --vms-per-job must be 1..=8 (one HCA per AGC node) \
+             and --concurrency at least 1"
+        );
         exit(2);
     }
     args
@@ -300,7 +365,9 @@ fn main() {
         }
         "evacuate" => {
             // Two jobs share the failing IB cluster; the drill moves
-            // everything to the Ethernet site, capacity-aware.
+            // everything to the Ethernet site, capacity-aware. Runs on
+            // the fleet engine — `--concurrency 1` (the default) is the
+            // classic serial drill, higher caps overlap the jobs.
             let a_vms = world.boot_ib_vms(args.vms.min(6));
             let mut job_a = world.start_job(a_vms, args.procs);
             let b_start = args.vms.min(6);
@@ -327,17 +394,34 @@ fn main() {
             let mut job_b = world.start_job(b_vms, 1);
             let from = world.ib_cluster;
             let to = world.eth_cluster;
-            let report = ninja_migration::evacuate_cluster(
-                &mut world,
-                &mut [&mut job_a, &mut job_b],
-                from,
-                to,
-                &orch,
-            )
-            .unwrap_or_else(|e| {
+            let plans = plan_evacuation(&world, &[&job_a, &job_b], from, to).unwrap_or_else(|e| {
                 eprintln!("evacuation failed: {e}");
                 exit(1)
             });
+            let mut sched = CloudScheduler::new();
+            for (j, dsts) in plans.iter().enumerate() {
+                if !dsts.is_empty() {
+                    sched.push_job(world.clock, dsts.clone(), TriggerReason::Fallback, j);
+                }
+            }
+            let cfg = FleetConfig {
+                concurrency: args.concurrency,
+                ..FleetConfig::default()
+            };
+            let fleet = {
+                let mut jobs: Vec<&mut dyn GuestCooperative> = vec![&mut job_a, &mut job_b];
+                run_fleet(&mut world, &mut jobs, sched, &cfg).unwrap_or_else(|e| {
+                    eprintln!("evacuation failed: {e}");
+                    exit(1)
+                })
+            };
+            let report = DrillReport {
+                jobs: fleet.jobs.len(),
+                vms: fleet.jobs.iter().map(|j| j.report.vm_count).sum(),
+                total_seconds: fleet.makespan_s,
+                queue_wait_s: fleet.jobs.iter().map(|j| j.queue_wait_s).collect(),
+                migrations: fleet.jobs.iter().map(|j| j.report.clone()).collect(),
+            };
             world.record_wire_metrics(&job_a);
             world.record_wire_metrics(&job_b);
             if args.json {
@@ -348,9 +432,51 @@ fn main() {
                     report.jobs, report.vms, report.total_seconds
                 );
                 for (i, m) in report.migrations.iter().enumerate() {
-                    println!("\n--- job {} ---\n{m}", i + 1);
+                    println!(
+                        "\n--- job {} (queued {:.1}s) ---\n{m}",
+                        i + 1,
+                        report.queue_wait_s.get(i).copied().unwrap_or(0.0)
+                    );
                 }
             }
+        }
+        "fleet" => {
+            let kind = ScenarioKind::parse(&args.scenario).unwrap_or_else(|| usage());
+            let spec = ScenarioSpec {
+                kind,
+                jobs: args.jobs,
+                vms_per_job: args.vms_per_job,
+                arrival: SimDuration::from_secs(args.arrival),
+                seed: args.seed,
+            };
+            let mut s = build(&spec);
+            s.world.trace.set_capacity(args.trace_cap);
+            let cfg = FleetConfig {
+                concurrency: args.concurrency,
+                deadline: args.deadline.map(SimDuration::from_secs),
+                uplink: Bandwidth::from_gbps(args.uplink_gbps),
+                ..FleetConfig::default()
+            };
+            let report = {
+                let mut jobs: Vec<&mut dyn GuestCooperative> = s
+                    .jobs
+                    .iter_mut()
+                    .map(|j| j as &mut dyn GuestCooperative)
+                    .collect();
+                run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
+                    eprintln!("fleet run failed: {e}");
+                    exit(1)
+                })
+            };
+            for job in &s.jobs {
+                s.world.record_wire_metrics(job);
+            }
+            if args.json {
+                println!("{}", report.to_json().to_string_pretty());
+            } else {
+                println!("{report}");
+            }
+            world = s.world;
         }
         "fig8" => {
             // Convenience alias for the bench binary's scenario at one

@@ -1,0 +1,252 @@
+//! The fleet engine: many overlapping Ninja migrations in virtual time.
+//!
+//! An event loop over three clocks that must agree:
+//!
+//! * the **world clock** (`world.clock`), shared by every job;
+//! * each [`MigrationMachine`]'s job-local clock — where that job's
+//!   next phase may start;
+//! * the **fair-share uplink**'s clock, which drains the concurrent
+//!   precopy flows.
+//!
+//! Each iteration: deliver due [`CloudScheduler`] triggers into the
+//! [`AdmissionController`], admit jobs while slots are free, step every
+//! machine that is due at the current instant, then jump the world (and
+//! the link) to the earliest next event — a machine becoming runnable, a
+//! flow draining, or a trigger firing. Everything is deterministic per
+//! seed: jobs are stepped in index order and the only randomness is the
+//! world RNG the machines draw hotplug latencies from.
+
+use crate::admission::{AdmissionController, QueuedJob};
+use crate::slo::{FleetReport, JobOutcome};
+use ninja_migration::{CloudScheduler, MigrationMachine, StepOutcome, WireMode, World};
+use ninja_net::FairShareLink;
+use ninja_sim::{Bandwidth, SimDuration, SimTime};
+use ninja_symvirt::{GuestCooperative, SymVirtError};
+use ninja_vmm::QemuMonitor;
+use std::fmt;
+
+/// Fleet engine tunables.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Maximum migrations in flight at once.
+    pub concurrency: usize,
+    /// Per-job deadline (trigger → resumed); `None` disables deadline
+    /// accounting. Missed deadlines are reported, not enforced — the
+    /// migration still completes.
+    pub deadline: Option<SimDuration>,
+    /// Capacity of the shared switch uplink all precopy streams cross.
+    pub uplink: Bandwidth,
+    /// Migration config (sender cap, scan rate, RDMA) for every job.
+    pub monitor: QemuMonitor,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            concurrency: 1,
+            deadline: None,
+            uplink: Bandwidth::from_gbps(10.0),
+            monitor: QemuMonitor::default(),
+        }
+    }
+}
+
+/// Errors from a fleet run.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A trigger without a `job` tag reached the fleet engine.
+    UntaggedTrigger,
+    /// A trigger named a job index outside the job slice.
+    BadJobIndex(usize),
+    /// A job was triggered again before its first migration finished.
+    DuplicateTrigger(usize),
+    /// A migration failed mid-run.
+    Migration(SymVirtError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UntaggedTrigger => {
+                write!(f, "fleet trigger missing a job tag (use push_job)")
+            }
+            FleetError::BadJobIndex(j) => write!(f, "trigger names unknown job {j}"),
+            FleetError::DuplicateTrigger(j) => write!(f, "job {j} triggered twice"),
+            FleetError::Migration(e) => write!(f, "fleet migration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<SymVirtError> for FleetError {
+    fn from(e: SymVirtError) -> Self {
+        FleetError::Migration(e)
+    }
+}
+
+struct Running {
+    machine: MigrationMachine,
+    /// When the machine can next do work (its clock, or the wire-drain
+    /// instant it reported).
+    next_at: SimTime,
+    triggered_at: SimTime,
+    started_at: SimTime,
+    reason: ninja_migration::TriggerReason,
+}
+
+/// Drive every scheduled migration to completion. `jobs[i]` is the
+/// application the scheduler's job-`i` triggers move; each job may be
+/// triggered at most once per run. Returns the SLO report; on error the
+/// world is left at the failure instant (migrations already completed
+/// stay completed).
+pub fn run_fleet(
+    world: &mut World,
+    jobs: &mut [&mut dyn GuestCooperative],
+    mut scheduler: CloudScheduler,
+    cfg: &FleetConfig,
+) -> Result<FleetReport, FleetError> {
+    let m = &mut world.metrics;
+    m.describe(
+        "ninja_fleet_queue_depth",
+        "Triggered migrations waiting for an admission slot",
+    );
+    m.describe(
+        "ninja_fleet_queue_wait_seconds",
+        "Per-job wait from trigger to migration start",
+    );
+    m.describe(
+        "ninja_fleet_inflight_migrations",
+        "Migrations currently holding an admission slot",
+    );
+
+    let mut adm = AdmissionController::new(cfg.concurrency);
+    let mut link = FairShareLink::new(cfg.uplink);
+    link.advance_to(world.clock);
+    let first_trigger = scheduler.next_at();
+    let mut running: Vec<Option<Running>> = (0..jobs.len()).map(|_| None).collect();
+    let mut outcomes: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+
+    loop {
+        // 1. Deliver due triggers into the ready queue.
+        while let Some(t) = scheduler.poll(world.clock) {
+            let job = t.job.ok_or(FleetError::UntaggedTrigger)?;
+            if job >= jobs.len() {
+                return Err(FleetError::BadJobIndex(job));
+            }
+            if running[job].is_some() || outcomes[job].is_some() {
+                return Err(FleetError::DuplicateTrigger(job));
+            }
+            adm.enqueue(QueuedJob {
+                job,
+                dsts: t.dsts,
+                triggered_at: t.at,
+                reason: t.reason,
+            });
+        }
+        // 2. Admit while slots are free.
+        while let Some(q) = adm.admit() {
+            let wait = world.clock.since(q.triggered_at);
+            world
+                .metrics
+                .observe_duration("ninja_fleet_queue_wait_seconds", &[], wait);
+            let machine =
+                MigrationMachine::new(cfg.monitor.clone(), jobs[q.job].vms(), q.dsts, world.clock);
+            running[q.job] = Some(Running {
+                machine,
+                next_at: world.clock,
+                triggered_at: q.triggered_at,
+                started_at: world.clock,
+                reason: q.reason,
+            });
+        }
+        world
+            .metrics
+            .set_gauge("ninja_fleet_queue_depth", &[], adm.depth() as f64);
+        world.metrics.set_gauge(
+            "ninja_fleet_inflight_migrations",
+            &[],
+            adm.inflight() as f64,
+        );
+
+        // 3. Step every machine due at this instant (job order for
+        //    determinism). A step may finish a job and free a slot.
+        let mut freed_slot = false;
+        for j in 0..jobs.len() {
+            while running[j]
+                .as_ref()
+                .is_some_and(|r| r.next_at <= world.clock)
+            {
+                let r = running[j].as_mut().expect("checked above");
+                let mut wire = WireMode::FairShare(&mut link);
+                match r.machine.step(world, &mut *jobs[j], &mut wire)? {
+                    StepOutcome::Ready => r.next_at = r.machine.now(),
+                    StepOutcome::Waiting(t) => {
+                        r.next_at = t;
+                        if t <= world.clock {
+                            // The wire has been advanced to t already;
+                            // stepping again makes progress.
+                            continue;
+                        }
+                        break;
+                    }
+                    StepOutcome::Done(report) => {
+                        let r = running[j].take().expect("was running");
+                        let finished = r.machine.now();
+                        let turnaround = finished.since(r.triggered_at);
+                        outcomes[j] = Some(JobOutcome {
+                            job: j,
+                            reason: r.reason,
+                            triggered_at: r.triggered_at.as_secs_f64(),
+                            started_at: r.started_at.as_secs_f64(),
+                            queue_wait_s: r.started_at.since(r.triggered_at).as_secs_f64(),
+                            finished_at: finished.as_secs_f64(),
+                            deadline_missed: cfg.deadline.is_some_and(|d| turnaround > d),
+                            report,
+                        });
+                        adm.release();
+                        freed_slot = true;
+                    }
+                }
+            }
+        }
+        if freed_slot && adm.depth() > 0 {
+            continue; // admit into the freed slots at this same instant
+        }
+
+        // 4. Jump to the next event.
+        let mut t_next = SimTime::MAX;
+        for r in running.iter().flatten() {
+            t_next = t_next.min(r.next_at);
+        }
+        if let Some(t) = scheduler.next_at() {
+            t_next = t_next.min(t);
+        }
+        if t_next == SimTime::MAX {
+            debug_assert_eq!(adm.depth(), 0, "queued job with nothing running");
+            break;
+        }
+        world.advance_to(t_next);
+        link.advance_to(world.clock);
+    }
+
+    world.metrics.set_gauge("ninja_fleet_queue_depth", &[], 0.0);
+    world
+        .metrics
+        .set_gauge("ninja_fleet_inflight_migrations", &[], 0.0);
+
+    let jobs_done: Vec<JobOutcome> = outcomes.into_iter().flatten().collect();
+    let started = first_trigger.unwrap_or(world.clock);
+    let makespan = jobs_done
+        .iter()
+        .map(|j| j.finished_at)
+        .fold(started.as_secs_f64(), f64::max)
+        - started.as_secs_f64();
+    Ok(FleetReport {
+        jobs: jobs_done,
+        makespan_s: makespan,
+        concurrency: cfg.concurrency,
+        peak_queue_depth: adm.peak_depth(),
+        deadline_s: cfg.deadline.map(|d| d.as_secs_f64()),
+    })
+}

@@ -1,0 +1,265 @@
+//! Canned fleet scenarios, mapped to the paper's Section II-A use cases.
+//!
+//! Each builder produces a booted [`World`], one MPI job per fleet job,
+//! and a [`CloudScheduler`] whose job-tagged triggers drive the engine:
+//!
+//! * [`ScenarioKind::Evacuation`] — *disaster recovery*: every job is
+//!   triggered at once (the burst), IB cluster → Ethernet cluster;
+//! * [`ScenarioKind::RollingDrain`] — *non-stop maintenance*: jobs are
+//!   drained one after another with randomized inter-arrival gaps;
+//! * [`ScenarioKind::Rebalance`] — *power-aware consolidation*: jobs
+//!   already on the Ethernet cluster stream onto fewer hosts.
+//!
+//! Scenario construction is deterministic per seed and independent of
+//! the engine's concurrency cap — the same trigger schedule and the
+//! same precopy plans feed every run, which is what makes
+//! makespan-vs-concurrency and wire-byte-conservation comparisons
+//! meaningful.
+
+use ninja_cluster::{NodeId, StorageId};
+use ninja_migration::{CloudScheduler, TriggerReason, World};
+use ninja_mpi::MpiRuntime;
+use ninja_sim::SimDuration;
+use ninja_vmm::{VmId, VmSpec};
+
+/// Which Section II-A use case to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Disaster evacuation burst: all jobs triggered at t₀, IB → Eth.
+    Evacuation,
+    /// Rolling maintenance drain: staggered triggers, IB → Eth.
+    RollingDrain,
+    /// Consolidation stream: staggered triggers, Eth → fewer Eth hosts.
+    Rebalance,
+}
+
+impl ScenarioKind {
+    /// Parse a `--scenario` flag value.
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        match s {
+            "evacuation" => Some(ScenarioKind::Evacuation),
+            "drain" => Some(ScenarioKind::RollingDrain),
+            "rebalance" => Some(ScenarioKind::Rebalance),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Evacuation => "evacuation",
+            ScenarioKind::RollingDrain => "drain",
+            ScenarioKind::Rebalance => "rebalance",
+        }
+    }
+}
+
+/// A fleet scenario recipe.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The use case.
+    pub kind: ScenarioKind,
+    /// Number of jobs (each gets its own MPI runtime).
+    pub jobs: usize,
+    /// VMs per job. `jobs × vms_per_job` must fit the 8-node source
+    /// cluster (one paper VM + HCA per IB node).
+    pub vms_per_job: usize,
+    /// Mean inter-arrival gap for staggered scenarios (exponentially
+    /// distributed; ignored by the evacuation burst).
+    pub arrival: SimDuration,
+    /// World seed.
+    pub seed: u64,
+}
+
+/// A built scenario, ready for the engine.
+pub struct Scenario {
+    /// The booted world.
+    pub world: World,
+    /// One MPI runtime per fleet job, in job order.
+    pub jobs: Vec<MpiRuntime>,
+    /// Job-tagged trigger schedule.
+    pub scheduler: CloudScheduler,
+}
+
+/// Build `spec`. Panics if `jobs × vms_per_job` exceeds the 8-node
+/// source cluster (callers validate user input first).
+pub fn build(spec: &ScenarioSpec) -> Scenario {
+    let total_vms = spec.jobs * spec.vms_per_job;
+    assert!(spec.jobs >= 1, "need at least one job");
+    assert!(spec.vms_per_job >= 1, "need at least one VM per job");
+    assert!(
+        total_vms <= 8,
+        "jobs x vms-per-job = {total_vms} exceeds the 8-node source cluster"
+    );
+    let mut world = World::agc(spec.seed);
+    let on_ib = spec.kind != ScenarioKind::Rebalance;
+    let jobs = boot_jobs(&mut world, spec.jobs, spec.vms_per_job, on_ib);
+    let mut scheduler = CloudScheduler::new();
+    let t0 = world.clock;
+    let mut arrivals = world.rng.fork(0xf1ee7);
+    let mut at = t0;
+    for (j, job) in jobs.iter().enumerate() {
+        if spec.kind != ScenarioKind::Evacuation {
+            at += SimDuration::from_secs_f64(arrivals.exponential(spec.arrival.as_secs_f64()));
+        }
+        let dsts = destinations(&world, spec, j, job);
+        scheduler.push_job(at, dsts, reason(spec.kind), j);
+    }
+    Scenario {
+        world,
+        jobs,
+        scheduler,
+    }
+}
+
+fn reason(kind: ScenarioKind) -> TriggerReason {
+    match kind {
+        ScenarioKind::Evacuation => TriggerReason::Fallback,
+        ScenarioKind::RollingDrain => TriggerReason::Fallback,
+        ScenarioKind::Rebalance => TriggerReason::Placement,
+    }
+}
+
+/// Boot the fleet's jobs: job `j` gets `vms_per_job` paper VMs on
+/// consecutive source-cluster nodes (with HCAs and trained links on the
+/// IB side).
+fn boot_jobs(world: &mut World, jobs: usize, vms_per_job: usize, on_ib: bool) -> Vec<MpiRuntime> {
+    let mut runtimes = Vec::with_capacity(jobs);
+    let mut ready = world.clock;
+    let mut job_vms: Vec<Vec<VmId>> = Vec::with_capacity(jobs);
+    for j in 0..jobs {
+        let mut vms = Vec::with_capacity(vms_per_job);
+        for k in 0..vms_per_job {
+            let i = j * vms_per_job + k;
+            let node = if on_ib {
+                world.ib_node(i)
+            } else {
+                world.eth_node(i)
+            };
+            let vm = world
+                .pool
+                .create(
+                    format!("job{j}-vm{k}"),
+                    VmSpec::paper_vm(),
+                    node,
+                    StorageId(0),
+                    &mut world.dc,
+                )
+                .expect("source node holds one paper VM");
+            if on_ib {
+                let (_, active_at) = world
+                    .pool
+                    .attach_ib_hca(vm, &mut world.dc, world.clock, &mut world.rng)
+                    .expect("IB node has a free HCA");
+                ready = ready.max(active_at);
+            }
+            vms.push(vm);
+        }
+        job_vms.push(vms);
+    }
+    world.advance_to(ready);
+    for vms in job_vms {
+        runtimes.push(world.start_job(vms, 1));
+    }
+    runtimes
+}
+
+/// Destination host list for job `j`.
+fn destinations(world: &World, spec: &ScenarioSpec, j: usize, job: &MpiRuntime) -> Vec<NodeId> {
+    let n = job.layout().vms().len();
+    match spec.kind {
+        // Straight across: source slot i lands on Ethernet node i. The
+        // 48 GiB nodes hold two 20 GiB paper VMs, so ≤ 8 VMs always fit.
+        ScenarioKind::Evacuation | ScenarioKind::RollingDrain => (0..n)
+            .map(|k| world.eth_node(j * spec.vms_per_job + k))
+            .collect(),
+        // Consolidate pairs of source slots onto one host (power-aware
+        // packing at 2 VMs/node).
+        ScenarioKind::Rebalance => (0..n)
+            .map(|k| world.eth_node((j * spec.vms_per_job + k) / 2))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_sim::SimTime;
+
+    fn spec(kind: ScenarioKind) -> ScenarioSpec {
+        ScenarioSpec {
+            kind,
+            jobs: 4,
+            vms_per_job: 2,
+            arrival: SimDuration::from_secs(30),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn evacuation_bursts_at_t0() {
+        let s = build(&spec(ScenarioKind::Evacuation));
+        assert_eq!(s.jobs.len(), 4);
+        assert_eq!(s.scheduler.len(), 4);
+        let t0 = s.scheduler.next_at().unwrap();
+        let mut sched = s.scheduler;
+        let mut seen = Vec::new();
+        while let Some(t) = sched.poll(SimTime::MAX) {
+            assert_eq!(t.at, t0, "burst: all triggers at once");
+            seen.push(t.job.unwrap());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_staggers_arrivals() {
+        let s = build(&spec(ScenarioKind::RollingDrain));
+        let mut sched = s.scheduler;
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(t) = sched.poll(SimTime::MAX) {
+            assert!(t.at > last, "strictly staggered");
+            last = t.at;
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn rebalance_consolidates_two_per_node() {
+        let s = build(&spec(ScenarioKind::Rebalance));
+        let mut sched = s.scheduler;
+        let mut dst_nodes = std::collections::BTreeSet::new();
+        while let Some(t) = sched.poll(SimTime::MAX) {
+            assert_eq!(t.reason, TriggerReason::Placement);
+            dst_nodes.extend(t.dsts);
+        }
+        assert_eq!(dst_nodes.len(), 4, "8 VMs onto 4 hosts");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build(&spec(ScenarioKind::RollingDrain));
+        let b = build(&spec(ScenarioKind::RollingDrain));
+        let mut sa = a.scheduler;
+        let mut sb = b.scheduler;
+        while let Some(ta) = sa.poll(SimTime::MAX) {
+            let tb = sb.poll(SimTime::MAX).unwrap();
+            assert_eq!(ta.at, tb.at);
+            assert_eq!(ta.dsts, tb.dsts);
+        }
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 8-node")]
+    fn oversized_fleet_rejected() {
+        build(&ScenarioSpec {
+            kind: ScenarioKind::Evacuation,
+            jobs: 5,
+            vms_per_job: 2,
+            arrival: SimDuration::from_secs(1),
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,285 @@
+//! Fleet SLO reporting.
+//!
+//! A fleet run is judged on distributions, not single numbers: the p50
+//! and p99 of per-job **blackout** (the Fig. 4 total the frozen
+//! application observes) and **queue wait** (trigger → migration
+//! start), plus the **drain makespan** (first trigger → last job
+//! resumed). [`FleetReport`] carries those, per-job detail, and deadline
+//! accounting, with JSON/CSV exports matching the rest of the repo.
+
+use ninja_migration::{NinjaReport, TriggerReason};
+use ninja_sim::{Json, ToJson};
+use std::fmt;
+
+/// One job's journey through the fleet engine.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Fleet job index.
+    pub job: usize,
+    /// Why the scheduler moved it.
+    pub reason: TriggerReason,
+    /// Trigger time (seconds since the run started).
+    pub triggered_at: f64,
+    /// When the migration was admitted and began.
+    pub started_at: f64,
+    /// `started_at - triggered_at`.
+    pub queue_wait_s: f64,
+    /// When the job resumed on its destination.
+    pub finished_at: f64,
+    /// Whether `finished_at - triggered_at` exceeded the deadline.
+    pub deadline_missed: bool,
+    /// The migration's phase breakdown (blackout = its `total()`).
+    pub report: NinjaReport,
+}
+
+impl JobOutcome {
+    /// The application-observed blackout (Fig. 4 total).
+    pub fn blackout_s(&self) -> f64 {
+        self.report.total()
+    }
+}
+
+fn reason_label(r: TriggerReason) -> &'static str {
+    match r {
+        TriggerReason::Fallback => "fallback",
+        TriggerReason::Recovery => "recovery",
+        TriggerReason::Placement => "placement",
+    }
+}
+
+impl ToJson for JobOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("job", Json::from(self.job)),
+            ("reason", Json::from(reason_label(self.reason))),
+            ("triggered_at", Json::from(self.triggered_at)),
+            ("started_at", Json::from(self.started_at)),
+            ("queue_wait_s", Json::from(self.queue_wait_s)),
+            ("finished_at", Json::from(self.finished_at)),
+            ("blackout_s", Json::from(self.blackout_s())),
+            ("deadline_missed", Json::from(self.deadline_missed)),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+/// The SLO summary of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-job outcomes, in job order.
+    pub jobs: Vec<JobOutcome>,
+    /// First trigger to last job resumed.
+    pub makespan_s: f64,
+    /// Concurrency cap the run used.
+    pub concurrency: usize,
+    /// Deepest the admission queue got.
+    pub peak_queue_depth: usize,
+    /// Per-job deadline, if one was set.
+    pub deadline_s: Option<f64>,
+}
+
+/// Nearest-rank percentile (the convention SLO dashboards use): the
+/// smallest value such that at least `q`% of samples are ≤ it.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl FleetReport {
+    fn blackouts(&self) -> Vec<f64> {
+        self.jobs.iter().map(|j| j.blackout_s()).collect()
+    }
+
+    fn waits(&self) -> Vec<f64> {
+        self.jobs.iter().map(|j| j.queue_wait_s).collect()
+    }
+
+    /// Median application blackout.
+    pub fn p50_blackout_s(&self) -> f64 {
+        percentile(&self.blackouts(), 50.0)
+    }
+
+    /// Tail application blackout.
+    pub fn p99_blackout_s(&self) -> f64 {
+        percentile(&self.blackouts(), 99.0)
+    }
+
+    /// Median queue wait.
+    pub fn p50_queue_wait_s(&self) -> f64 {
+        percentile(&self.waits(), 50.0)
+    }
+
+    /// Tail queue wait.
+    pub fn p99_queue_wait_s(&self) -> f64 {
+        percentile(&self.waits(), 99.0)
+    }
+
+    /// Jobs that blew their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.jobs.iter().filter(|j| j.deadline_missed).count()
+    }
+
+    /// Total precopy bytes across all jobs (conserved under fair-share
+    /// contention: the wire reshuffles time, not bytes).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.report.wire_bytes).sum()
+    }
+
+    /// CSV export, one row per job.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "job,reason,vms,triggered_at,started_at,queue_wait_s,blackout_s,finished_at,wire_bytes,deadline_missed\n",
+        );
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}\n",
+                j.job,
+                reason_label(j.reason),
+                j.report.vm_count,
+                j.triggered_at,
+                j.started_at,
+                j.queue_wait_s,
+                j.blackout_s(),
+                j.finished_at,
+                j.report.wire_bytes,
+                j.deadline_missed,
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", Json::from(self.jobs.len())),
+            ("concurrency", Json::from(self.concurrency)),
+            ("makespan_s", Json::from(self.makespan_s)),
+            ("p50_blackout_s", Json::from(self.p50_blackout_s())),
+            ("p99_blackout_s", Json::from(self.p99_blackout_s())),
+            ("p50_queue_wait_s", Json::from(self.p50_queue_wait_s())),
+            ("p99_queue_wait_s", Json::from(self.p99_queue_wait_s())),
+            ("peak_queue_depth", Json::from(self.peak_queue_depth)),
+            ("total_wire_bytes", Json::from(self.total_wire_bytes())),
+            (
+                "deadline_s",
+                self.deadline_s.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("deadline_misses", Json::from(self.deadline_misses())),
+            ("outcomes", self.jobs.to_json()),
+        ])
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet run: {} jobs, concurrency {}",
+            self.jobs.len(),
+            self.concurrency
+        )?;
+        writeln!(f, "  makespan     {:>9.2}s", self.makespan_s)?;
+        writeln!(
+            f,
+            "  blackout     {:>9.2}s p50   {:>9.2}s p99",
+            self.p50_blackout_s(),
+            self.p99_blackout_s()
+        )?;
+        writeln!(
+            f,
+            "  queue wait   {:>9.2}s p50   {:>9.2}s p99",
+            self.p50_queue_wait_s(),
+            self.p99_queue_wait_s()
+        )?;
+        writeln!(f, "  peak queue depth {}", self.peak_queue_depth)?;
+        writeln!(
+            f,
+            "  wire bytes   {:.2} GiB",
+            self.total_wire_bytes() as f64 / (1u64 << 30) as f64
+        )?;
+        match self.deadline_s {
+            Some(d) => write!(
+                f,
+                "  deadline     {:.0}s, {} missed",
+                d,
+                self.deadline_misses()
+            ),
+            None => write!(f, "  deadline     none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ninja_sim::{Bytes, SimDuration};
+
+    fn outcome(job: usize, wait: f64, mig_s: u64) -> JobOutcome {
+        let report = NinjaReport::new(
+            SimDuration::from_millis(5),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(mig_s),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            Bytes::from_gib(1),
+            Some("openib".into()),
+            Some("tcp".into()),
+            true,
+            1,
+        );
+        let triggered = 10.0;
+        JobOutcome {
+            job,
+            reason: TriggerReason::Fallback,
+            triggered_at: triggered,
+            started_at: triggered + wait,
+            queue_wait_s: wait,
+            finished_at: triggered + wait + report.total(),
+            deadline_missed: wait > 100.0,
+            report,
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn report_aggregates_and_serializes() {
+        let jobs: Vec<JobOutcome> = (0..4).map(|i| outcome(i, i as f64 * 50.0, 40)).collect();
+        let makespan = jobs.iter().map(|j| j.finished_at).fold(0.0, f64::max) - 10.0;
+        let r = FleetReport {
+            jobs,
+            makespan_s: makespan,
+            concurrency: 2,
+            peak_queue_depth: 3,
+            deadline_s: Some(120.0),
+        };
+        assert_eq!(r.deadline_misses(), 1, "the 150 s wait missed");
+        assert_eq!(r.total_wire_bytes(), 4 * (1u64 << 30));
+        let j = r.to_json();
+        assert_eq!(j["jobs"].as_u64(), Some(4));
+        assert!(j["p99_queue_wait_s"].as_f64().unwrap() >= 150.0);
+        assert_eq!(j["deadline_misses"].as_u64(), Some(1));
+        let back = ninja_sim::parse(&j.to_string()).unwrap();
+        assert_eq!(back["outcomes"].as_array().unwrap().len(), 4);
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,fallback,1,"));
+        let shown = r.to_string();
+        assert!(shown.contains("makespan"));
+        assert!(shown.contains("p99"));
+    }
+}

@@ -180,3 +180,166 @@ fn bad_usage_exits_nonzero() {
     let out = ninja().args(["fallback", "--vms", "99"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn fleet_json_is_deterministic_and_reports_slos() {
+    let run = || {
+        ninja()
+            .args([
+                "fleet",
+                "--jobs",
+                "8",
+                "--concurrency",
+                "4",
+                "--seed",
+                "2013",
+                "--json",
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, run().stdout, "same seed, same bytes");
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(v["jobs"].as_u64(), Some(8));
+    assert_eq!(v["concurrency"].as_u64(), Some(4));
+    assert!(v["makespan_s"].as_f64().unwrap() > 0.0);
+    for key in [
+        "p50_blackout_s",
+        "p99_blackout_s",
+        "p50_queue_wait_s",
+        "p99_queue_wait_s",
+    ] {
+        assert!(v[key].as_f64().is_some(), "report carries {key}");
+    }
+    assert_eq!(v["outcomes"].as_array().unwrap().len(), 8);
+}
+
+#[test]
+fn fleet_concurrency_shrinks_makespan_and_conserves_bytes() {
+    let run = |conc: &str| {
+        let out = ninja()
+            .args([
+                "fleet",
+                "--jobs",
+                "8",
+                "--concurrency",
+                conc,
+                "--seed",
+                "7",
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).unwrap()
+    };
+    let serial = run("1");
+    let fleet = run("4");
+    assert!(
+        fleet["makespan_s"].as_f64().unwrap() < serial["makespan_s"].as_f64().unwrap(),
+        "concurrency 4 must drain strictly faster than 1 ({} vs {})",
+        fleet["makespan_s"],
+        serial["makespan_s"]
+    );
+    assert_eq!(
+        fleet["total_wire_bytes"].as_u64(),
+        serial["total_wire_bytes"].as_u64(),
+        "contention reshuffles time, not bytes"
+    );
+}
+
+#[test]
+fn fleet_writes_queue_metrics() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("fleet-metrics.prom");
+    let out = ninja()
+        .args([
+            "fleet",
+            "--jobs",
+            "4",
+            "--concurrency",
+            "2",
+            "--scenario",
+            "drain",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    for needle in [
+        "ninja_fleet_queue_depth",
+        "ninja_fleet_queue_wait_seconds",
+        "ninja_fleet_inflight_migrations",
+    ] {
+        assert!(prom.contains(needle), "metrics output mentions {needle}");
+    }
+}
+
+#[test]
+fn fleet_deadline_accounting_shows_up() {
+    let out = ninja()
+        .args([
+            "fleet",
+            "--jobs",
+            "6",
+            "--concurrency",
+            "1",
+            "--deadline",
+            "60",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["deadline_s"].as_f64(), Some(60.0));
+    // Serial drains of 6 jobs take far longer than 60 s for the tail.
+    assert!(v["deadline_misses"].as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn evacuate_reports_queue_wait() {
+    let out = ninja()
+        .args(["evacuate", "--vms", "4", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let jobs = v["jobs"].as_u64().unwrap();
+    let waits = v["queue_wait_s"].as_array().unwrap();
+    assert_eq!(waits.len() as u64, jobs);
+    // Serial default: the second job waits for the first.
+    assert!(waits[1].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn bad_fleet_flags_exit_nonzero() {
+    let out = ninja().args(["fleet", "--jobs", "9"]).output().unwrap();
+    assert!(!out.status.success(), "9 jobs exceed the source cluster");
+    let out = ninja()
+        .args(["fleet", "--scenario", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -8,6 +8,9 @@
 //! * [`eth`] — Ethernet / virtio-net with instantaneous link-up;
 //! * [`link`] — the port link-state machine and a serializing
 //!   shared-link contention model;
+//! * [`fair`] — a max-min fair-share (processor-sharing) uplink model
+//!   under which concurrent precopy streams split bandwidth instead of
+//!   queueing, used by the fleet engine;
 //! * [`transport`] — LogGP-style message-cost models (latency, bandwidth,
 //!   per-byte CPU cost) used by the MPI byte-transfer layer, including the
 //!   CPU-contention behaviour that separates TCP from RDMA under
@@ -20,6 +23,7 @@
 
 pub mod calib;
 pub mod eth;
+pub mod fair;
 pub mod ib;
 pub mod link;
 pub mod switch;
@@ -27,6 +31,7 @@ pub mod transport;
 
 pub use calib::TransportCalib;
 pub use eth::{EthKind, EthNic};
+pub use fair::{FairShareLink, FlowId};
 pub use ib::{IbError, IbFabric, IbHca, Lid, MrKey, QpNum, QueuePair};
 pub use link::{LinkFsm, LinkState, Reservation, SharedLink};
 pub use switch::Switch;

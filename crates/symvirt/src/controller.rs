@@ -61,6 +61,22 @@ impl MigrationPhase {
     }
 }
 
+/// A migration opened under fair-share wire mode: checked and planned,
+/// with the guest still on its source node. The caller owns the wire
+/// time (e.g. a `FairShareLink` flow in `ninja-net`) and lands the VM
+/// via [`Controller::migration_commit`] once the stream drains.
+#[derive(Debug, Clone)]
+pub struct PendingMigration {
+    /// The VM in flight.
+    pub vm: VmId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The precopy schedule (wire bytes, scan floor).
+    pub plan: PrecopyPlan,
+    /// When the agent issued `migrate`.
+    pub started: SimTime,
+}
+
 /// The VMM-side master program.
 #[derive(Debug)]
 pub struct Controller {
@@ -325,6 +341,69 @@ impl Controller {
         })
     }
 
+    /// First half of [`migration`](Controller::migration) for fair-share
+    /// wire mode: every agent checks and plans its VM's precopy, but the
+    /// wire time is left to the caller's contention model — open one
+    /// flow per returned [`PendingMigration`], then land each VM with
+    /// [`migration_commit`](Controller::migration_commit) when its
+    /// stream drains. Guests stay on their source nodes meanwhile.
+    pub fn migration_open(
+        &mut self,
+        dsts: &[NodeId],
+        pool: &VmPool,
+        dc: &DataCenter,
+        now: SimTime,
+    ) -> Result<Vec<PendingMigration>, SymVirtError> {
+        self.check_open()?;
+        if dsts.is_empty() {
+            return Err(SymVirtError::EmptyHostlist);
+        }
+        self.wait_all(pool)?;
+        let cfg = self.monitor.config();
+        let mut pending = Vec::with_capacity(self.hostlist.len());
+        for (i, &vm) in self.hostlist.iter().enumerate() {
+            let dst = dsts[i % dsts.len()];
+            pool.check_migratable(vm, dst, dc)
+                .map_err(SymVirtError::from)?;
+            let guest_running = pool.get(vm).state == VmState::Running;
+            let src = pool.get(vm).node;
+            // Plan against the raw NIC rate, exactly as the monitor's
+            // Migrate path does; the fair-share link applies contention.
+            let link_rate = dc.node(src).spec.eth_bandwidth;
+            let plan = ninja_vmm::plan_precopy(&pool.get(vm).memory, guest_running, link_rate, cfg);
+            pending.push(PendingMigration {
+                vm,
+                dst,
+                plan,
+                started: now,
+            });
+        }
+        Ok(pending)
+    }
+
+    /// Second half of fair-share-mode migration: land `p.vm` on `p.dst`
+    /// at `completes_at` (when its wire stream drained, floored by the
+    /// precopy schedule) and record the agent's span/log entry, exactly
+    /// as the serial [`migration`](Controller::migration) phase does.
+    pub fn migration_commit(
+        &mut self,
+        p: &PendingMigration,
+        completes_at: SimTime,
+        pool: &mut VmPool,
+        dc: &mut DataCenter,
+    ) {
+        pool.complete_migration(p.vm, p.dst, dc);
+        pool.get_mut(p.vm).last_migration =
+            Some((p.plan.wire_bytes().get(), completes_at.since(p.started)));
+        self.record_vm_span("migration", pool, p.vm, p.started, completes_at);
+        self.log.push(AgentAction {
+            vm: p.vm,
+            action: format!("migrate -> {}", dc.node(p.dst).hostname),
+            started: p.started,
+            duration: completes_at.since(p.started),
+        });
+    }
+
     /// `signal`: resume every VM (SymVirt signal hypercall).
     pub fn signal(&mut self, pool: &mut VmPool) -> Result<(), SymVirtError> {
         self.check_open()?;
@@ -516,6 +595,50 @@ mod tests {
         assert_eq!(spans.iter().filter(|s| s.name == "migration").count(), 4);
         assert!(ctl.take_spans().is_empty(), "take drains");
         assert_eq!(ctl.hotplug_leaked(), 0, "graceful detach leaks nothing");
+    }
+
+    #[test]
+    fn open_commit_matches_serial_migration() {
+        // The fair-mode two-phase path must plan the same precopy and
+        // leave the pool in the same state as the serial phase.
+        let plans_serial = {
+            let (mut dc, mut pool, vms, mut rng) = world();
+            let eth: Vec<NodeId> = dc.cluster(ninja_cluster::ClusterId(1)).nodes[..4].to_vec();
+            pause_all(&mut pool, &vms);
+            let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+            ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, true)
+                .unwrap();
+            ctl.migration(&eth, &mut pool, &mut dc, SimTime::ZERO, &mut rng)
+                .unwrap()
+                .plans
+        };
+        let (mut dc, mut pool, vms, mut rng) = world();
+        let eth: Vec<NodeId> = dc.cluster(ninja_cluster::ClusterId(1)).nodes[..4].to_vec();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, true)
+            .unwrap();
+        let pending = ctl.migration_open(&eth, &pool, &dc, SimTime::ZERO).unwrap();
+        assert_eq!(pending.len(), 4);
+        for (p, serial) in pending.iter().zip(&plans_serial) {
+            assert_eq!(p.plan.wire_bytes(), serial.wire_bytes());
+            // Guest still on the source node until committed.
+            assert_ne!(pool.get(p.vm).node, p.dst);
+        }
+        for p in &pending {
+            let done = SimTime::ZERO + p.plan.duration();
+            ctl.migration_commit(p, done, &mut pool, &mut dc);
+        }
+        for (i, vm) in pool.iter().enumerate() {
+            assert_eq!(vm.node, eth[i]);
+            assert!(vm.last_migration.is_some());
+        }
+        let spans = ctl.take_spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "migration").count(),
+            4,
+            "commit records per-VM migration spans"
+        );
     }
 
     #[test]

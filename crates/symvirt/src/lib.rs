@@ -21,7 +21,7 @@ pub mod coordinator;
 pub mod error;
 pub mod generic;
 
-pub use controller::{AgentAction, Controller, DevicePhase, MigrationPhase};
+pub use controller::{AgentAction, Controller, DevicePhase, MigrationPhase, PendingMigration};
 pub use coordinator::{CoordReport, Coordinator};
 pub use error::SymVirtError;
 pub use generic::{GuestCooperative, PrepareReport, ResumeOutcome, SocketService};
