@@ -20,7 +20,7 @@ use crate::stepper::{MigrationMachine, StepOutcome, WireMode};
 use crate::world::World;
 use ninja_cluster::NodeId;
 use ninja_sim::SpanBuilder;
-use ninja_symvirt::{Controller, GuestCooperative, SymVirtError};
+use ninja_symvirt::{Controller, GuestCooperative, RetryPolicy, SymVirtError};
 use ninja_vmm::{MigrationConfig, QemuMonitor};
 
 /// The five phases of Fig. 4, in causal order. Every migration records
@@ -32,6 +32,7 @@ pub const PHASE_NAMES: [&str; 5] = ["coordination", "detach", "migration", "atta
 #[derive(Debug, Clone, Default)]
 pub struct NinjaOrchestrator {
     monitor: QemuMonitor,
+    retry: RetryPolicy,
 }
 
 impl NinjaOrchestrator {
@@ -40,7 +41,15 @@ impl NinjaOrchestrator {
     pub fn new(cfg: MigrationConfig) -> Self {
         NinjaOrchestrator {
             monitor: QemuMonitor::new(cfg),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Retry injected faults with this policy (bounded backoff in
+    /// virtual time). Only consulted when the world's fault plan fires.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The monitor (and thus migration config) in use.
@@ -127,7 +136,8 @@ impl NinjaOrchestrator {
             return Err(SymVirtError::EmptyHostlist);
         }
         let mut machine =
-            MigrationMachine::new(self.monitor.clone(), app.vms(), dsts.to_vec(), world.clock);
+            MigrationMachine::new(self.monitor.clone(), app.vms(), dsts.to_vec(), world.clock)
+                .with_retry(self.retry);
         let mut wire = WireMode::Queueing;
         loop {
             match machine.step(world, app, &mut wire)? {

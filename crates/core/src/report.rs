@@ -33,6 +33,10 @@ pub struct NinjaReport {
     pub btl_reconstructed: bool,
     /// Number of VMs migrated.
     pub vm_count: usize,
+    /// Whether the job degraded to TCP because the destination IB
+    /// re-attach failed (graceful degradation; a recovery migration can
+    /// restore InfiniBand later). `false` on every fault-free run.
+    pub degraded: bool,
 }
 
 /// Seconds wrapper so reports serialize as plain numbers.
@@ -99,13 +103,16 @@ impl NinjaReport {
             transport_after,
             btl_reconstructed,
             vm_count,
+            degraded: false,
         }
     }
 }
 
 impl ToJson for NinjaReport {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        // The `degraded` key only appears when true so fault-free runs
+        // serialize bit-identically to builds without fault injection.
+        let mut fields = vec![
             ("coordination", self.coordination.to_json()),
             ("detach", self.detach.to_json()),
             ("migration", self.migration.to_json()),
@@ -121,7 +128,11 @@ impl ToJson for NinjaReport {
             ("transport_after", Json::from(self.transport_after.clone())),
             ("btl_reconstructed", Json::from(self.btl_reconstructed)),
             ("vm_count", Json::from(self.vm_count)),
-        ])
+        ];
+        if self.degraded {
+            fields.push(("degraded", Json::from(true)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -149,7 +160,11 @@ impl fmt::Display for NinjaReport {
             self.wire_gib()
         )?;
         writeln!(f, "  link-up      {:>8}", self.linkup.to_string())?;
-        write!(f, "  total        {:>8}", format!("{:.2}s", self.total()))
+        write!(f, "  total        {:>8}", format!("{:.2}s", self.total()))?;
+        if self.degraded {
+            write!(f, "\n  DEGRADED: IB re-attach failed; running on TCP")?;
+        }
+        Ok(())
     }
 }
 

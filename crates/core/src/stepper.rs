@@ -33,9 +33,10 @@ use ninja_cluster::NodeId;
 use ninja_net::{FairShareLink, FlowId};
 use ninja_sim::{Bytes, SimDuration, SimTime, Span, SpanBuilder};
 use ninja_symvirt::{
-    Controller, DevicePhase, GuestCooperative, PendingMigration, ResumeOutcome, SymVirtError,
+    Controller, DevicePhase, FaultKind, FaultPhase, GuestCooperative, PendingMigration,
+    ResumeOutcome, RetryPolicy, SymVirtError,
 };
-use ninja_vmm::{PrecopyPlan, QemuMonitor, VmId};
+use ninja_vmm::{PrecopyPlan, QemuMonitor, VmId, VmmError};
 
 /// How the migration phase puts precopy bytes on the wire.
 pub enum WireMode<'a> {
@@ -86,6 +87,16 @@ enum State {
     Done,
 }
 
+/// What the fault preflight decided for a phase.
+enum Preflight {
+    /// Run the real phase operation.
+    Proceed,
+    /// IB re-attach failed for good: skip `device_add`, resume on TCP
+    /// (the BTL exclusivity logic picks tcp=100 when no HCA is
+    /// attached), and mark the report degraded.
+    Degrade,
+}
+
 /// A single Ninja migration, resumable one phase at a time.
 pub struct MigrationMachine {
     ctl: Controller,
@@ -105,6 +116,13 @@ pub struct MigrationMachine {
     migration: SimDuration,
     plans: Vec<PrecopyPlan>,
     attach: Option<DevicePhase>,
+    /// Fault-plan coordinates: which fleet job this machine migrates
+    /// and which of that job's migrations this is (0 = first; the
+    /// fleet engine's automatic recovery migration is 1).
+    job: usize,
+    mig: usize,
+    policy: RetryPolicy,
+    degraded: bool,
 }
 
 impl MigrationMachine {
@@ -130,7 +148,33 @@ impl MigrationMachine {
             migration: SimDuration::ZERO,
             plans: Vec::new(),
             attach: None,
+            job: 0,
+            mig: 0,
+            policy: RetryPolicy::default(),
+            degraded: false,
         }
+    }
+
+    /// Aim the world's fault plan at this machine: it runs migration
+    /// number `mig` of fleet job `job` (specs match on those
+    /// coordinates). The default is job 0, migration 0 — what a serial
+    /// single-job run is.
+    pub fn with_fault_target(mut self, job: usize, mig: usize) -> Self {
+        self.job = job;
+        self.mig = mig;
+        self
+    }
+
+    /// Use this retry policy when injected faults strike.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Whether the destination IB re-attach failed and the job resumed
+    /// on TCP (graceful degradation).
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The machine's job-local clock: the instant its last completed
@@ -149,6 +193,76 @@ impl MigrationMachine {
         matches!(self.state, State::Done)
     }
 
+    /// Consult the world's fault plan before executing `phase`, driving
+    /// the retry-with-bounded-backoff loop in virtual time. Each fired
+    /// fault counts in `ninja_fault_injections_total`; each retry adds
+    /// `policy.backoff_before(attempt)` to the machine's clock and
+    /// counts in `ninja_retries_total`. When retries are exhausted the
+    /// fault becomes terminal: a failed IB re-attach degrades the job
+    /// to TCP, a stall is absorbed as extra virtual time, and the rest
+    /// fail the migration cleanly with a typed error. With an empty
+    /// plan this is a single hash-free lookup: no RNG draws, no clock
+    /// movement, no metrics — fault-free runs stay bit-identical.
+    fn preflight(
+        &mut self,
+        world: &mut World,
+        phase: FaultPhase,
+    ) -> Result<Preflight, SymVirtError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let Some(inj) = world.faults.fire(self.job, self.mig, phase) else {
+                return Ok(Preflight::Proceed);
+            };
+            let m = &mut world.metrics;
+            m.describe(
+                "ninja_fault_injections_total",
+                "Injected faults, by kind and phase",
+            );
+            m.inc(
+                "ninja_fault_injections_total",
+                &[("kind", inj.kind.name()), ("phase", phase.name())],
+                1,
+            );
+            if inj.kind == FaultKind::AgentDisconnect {
+                if let Some(&vm) = self.vms.first() {
+                    self.ctl.inject_agent_failure(vm);
+                }
+            }
+            if attempt >= self.policy.max_retries {
+                // Retries exhausted: degrade, absorb, or fail cleanly.
+                return match inj.kind {
+                    FaultKind::HotplugAttach => Ok(Preflight::Degrade),
+                    FaultKind::PrecopyStall => {
+                        self.now += inj.stall;
+                        Ok(Preflight::Proceed)
+                    }
+                    FaultKind::QmpTimeout => Err(SymVirtError::Vmm(VmmError::MonitorTimeout {
+                        command: phase.name().into(),
+                    })),
+                    FaultKind::PrecopyAbort => Err(SymVirtError::Vmm(VmmError::MigrationAborted)),
+                    FaultKind::AgentDisconnect => {
+                        Err(SymVirtError::AgentsDisconnected(self.ctl.failed_agents()))
+                    }
+                };
+            }
+            attempt += 1;
+            world
+                .metrics
+                .describe("ninja_retries_total", "Phase retries after injected faults");
+            world
+                .metrics
+                .inc("ninja_retries_total", &[("phase", phase.name())], 1);
+            // Back off in virtual time, then repair and try again.
+            match inj.kind {
+                FaultKind::PrecopyStall => self.now += inj.stall,
+                _ => self.now += self.policy.backoff_before(attempt),
+            }
+            if inj.kind == FaultKind::AgentDisconnect {
+                self.ctl.repair_agents();
+            }
+        }
+    }
+
     /// Run one phase. The caller must have advanced `world` (and, in
     /// fair-share mode, the link) to at least [`now`](Self::now) — the
     /// machine never reads the world clock, so stepping "in the past"
@@ -162,6 +276,9 @@ impl MigrationMachine {
     ) -> Result<StepOutcome, SymVirtError> {
         match std::mem::replace(&mut self.state, State::Done) {
             State::Start => {
+                // Degrade is impossible here (hotplug faults only fire
+                // at attach); errors fail the job before any state moved.
+                self.preflight(world, FaultPhase::Coordination)?;
                 self.transport_before = app.transport_label();
                 let prep = app.prepare_for_blackout(&world.pool, &mut world.dc, self.now)?;
                 for &vm in &self.vms {
@@ -181,6 +298,7 @@ impl MigrationMachine {
                 Ok(StepOutcome::Ready)
             }
             State::Quiesced => {
+                self.preflight(world, FaultPhase::Detach)?;
                 let detach = self.ctl.device_detach(
                     "hca-",
                     &mut world.pool,
@@ -195,70 +313,94 @@ impl MigrationMachine {
                 self.state = State::Detached;
                 Ok(StepOutcome::Ready)
             }
-            State::Detached => match wire {
-                WireMode::Queueing => {
-                    let mig = self.ctl.migration(
-                        &self.dsts,
-                        &mut world.pool,
-                        &mut world.dc,
-                        self.now,
-                        &mut world.rng,
-                    )?;
-                    self.migration = mig.completed_at.since(self.now);
-                    self.now = mig.completed_at;
-                    self.t_mig_end = self.now;
-                    self.plans = mig.plans;
-                    self.state = State::Migrated;
-                    Ok(StepOutcome::Ready)
+            State::Detached => {
+                self.preflight(world, FaultPhase::Migration)?;
+                match wire {
+                    WireMode::Queueing => {
+                        let mig = self.ctl.migration(
+                            &self.dsts,
+                            &mut world.pool,
+                            &mut world.dc,
+                            self.now,
+                            &mut world.rng,
+                        )?;
+                        self.migration = mig.completed_at.since(self.now);
+                        self.now = mig.completed_at;
+                        self.t_mig_end = self.now;
+                        self.plans = mig.plans;
+                        self.state = State::Migrated;
+                        Ok(StepOutcome::Ready)
+                    }
+                    WireMode::FairShare(link) => {
+                        let pending = self.ctl.migration_open(
+                            &self.dsts,
+                            &world.pool,
+                            &world.dc,
+                            self.now,
+                        )?;
+                        let cfg = self.ctl.monitor().config();
+                        let sender_cap = if cfg.rdma_transport {
+                            None
+                        } else {
+                            Some(cfg.sender_cap)
+                        };
+                        let streams: Vec<Stream> = pending
+                            .into_iter()
+                            .map(|p| {
+                                let src = world.pool.get(p.vm).node;
+                                let floor = self.now + p.plan.duration();
+                                let flow = if src == p.dst {
+                                    None // self-migration: loopback, no uplink
+                                } else {
+                                    let nic = world.dc.node(src).spec.eth_bandwidth;
+                                    let rate = sender_cap.map_or(nic, |s| s.min(nic));
+                                    Some(link.open(self.now, p.plan.wire_bytes(), Some(rate)))
+                                };
+                                Stream {
+                                    pending: p,
+                                    flow,
+                                    floor,
+                                }
+                            })
+                            .collect();
+                        self.state = State::Precopying(streams);
+                        self.poll_precopy(world, wire)
+                    }
                 }
-                WireMode::FairShare(link) => {
-                    let pending =
-                        self.ctl
-                            .migration_open(&self.dsts, &world.pool, &world.dc, self.now)?;
-                    let cfg = self.ctl.monitor().config();
-                    let sender_cap = if cfg.rdma_transport {
-                        None
-                    } else {
-                        Some(cfg.sender_cap)
-                    };
-                    let streams: Vec<Stream> = pending
-                        .into_iter()
-                        .map(|p| {
-                            let src = world.pool.get(p.vm).node;
-                            let floor = self.now + p.plan.duration();
-                            let flow = if src == p.dst {
-                                None // self-migration: loopback, no uplink
-                            } else {
-                                let nic = world.dc.node(src).spec.eth_bandwidth;
-                                let rate = sender_cap.map_or(nic, |s| s.min(nic));
-                                Some(link.open(self.now, p.plan.wire_bytes(), Some(rate)))
-                            };
-                            Stream {
-                                pending: p,
-                                flow,
-                                floor,
-                            }
-                        })
-                        .collect();
-                    self.state = State::Precopying(streams);
-                    self.poll_precopy(world, wire)
-                }
-            },
+            }
             State::Precopying(streams) => {
                 self.state = State::Precopying(streams);
                 self.poll_precopy(world, wire)
             }
             State::Migrated => {
-                let attach = self.ctl.device_attach(
-                    &mut world.pool,
-                    &mut world.dc,
-                    self.now,
-                    &mut world.rng,
-                    self.real_move,
-                )?;
-                self.now += attach.duration;
-                self.t_attach_end = self.now;
-                self.attach = Some(attach);
+                match self.preflight(world, FaultPhase::Attach)? {
+                    Preflight::Degrade => {
+                        // The destination HCAs never attach: leave them
+                        // on the host, record a zero-cost attach with no
+                        // link horizon, and resume on TCP — the BTL
+                        // reachability/exclusivity logic (tcp 100) lands
+                        // the job there instead of failing it. The fleet
+                        // engine schedules a recovery migration later.
+                        self.degraded = true;
+                        self.t_attach_end = self.now;
+                        self.attach = Some(DevicePhase {
+                            duration: SimDuration::ZERO,
+                            link_active_at: None,
+                        });
+                    }
+                    Preflight::Proceed => {
+                        let attach = self.ctl.device_attach(
+                            &mut world.pool,
+                            &mut world.dc,
+                            self.now,
+                            &mut world.rng,
+                            self.real_move,
+                        )?;
+                        self.now += attach.duration;
+                        self.t_attach_end = self.now;
+                        self.attach = Some(attach);
+                    }
+                }
                 self.state = State::Attached;
                 Ok(StepOutcome::Ready)
             }
@@ -284,7 +426,7 @@ impl MigrationMachine {
                 let outcome = app.resume_after_blackout(&world.pool, &mut world.dc, self.now)?;
                 let btl_reconstructed = matches!(outcome, ResumeOutcome::Rebuilt);
                 let wire: Bytes = self.plans.iter().map(|p| p.wire_bytes()).sum();
-                let report = NinjaReport::new(
+                let mut report = NinjaReport::new(
                     self.coordination,
                     self.detach,
                     self.migration,
@@ -296,6 +438,7 @@ impl MigrationMachine {
                     btl_reconstructed,
                     self.vms.len(),
                 );
+                report.degraded = self.degraded;
                 let windows = [
                     (crate::PHASE_NAMES[0], self.t_start, self.t_coord_end),
                     (crate::PHASE_NAMES[1], self.t_coord_end, self.t_detach_end),
@@ -449,8 +592,11 @@ pub(crate) fn record_job_telemetry(
         "ninja_btl_reconstructions_total",
         "BTL module reconstructions after migration",
     );
+    // Named for what it counts: IB resources (QPs/MRs) the monitor
+    // reported leaked by unsafe teardown during device detach. This was
+    // historically mis-exported as `ninja_hotplug_retries_total`.
     m.describe(
-        "ninja_hotplug_retries_total",
+        "ninja_hotplug_leaked_total",
         "IB resources torn down unsafely during device detach",
     );
     m.describe(
@@ -459,9 +605,18 @@ pub(crate) fn record_job_telemetry(
     );
     m.inc("ninja_migrations_total", &[], 1);
     m.inc("ninja_wire_bytes_total", &[], report.wire_bytes);
-    m.inc("ninja_hotplug_retries_total", &[], hotplug_leaked);
+    m.inc("ninja_hotplug_leaked_total", &[], hotplug_leaked);
     if report.btl_reconstructed {
         m.inc("ninja_btl_reconstructions_total", &[], 1);
+    }
+    if report.degraded {
+        // Described lazily so fault-free runs export an unchanged
+        // metric set.
+        m.describe(
+            "ninja_degraded_jobs",
+            "Migrations that resumed on TCP because the IB re-attach failed",
+        );
+        m.inc("ninja_degraded_jobs", &[], 1);
     }
     for (vm_name, bytes) in &per_vm_wire {
         m.inc("ninja_vm_wire_bytes_total", &[("vm", vm_name)], *bytes);
@@ -534,5 +689,201 @@ mod tests {
         assert!(report.migration.0 > 10.0, "{}", report.migration);
         assert!(link.bytes_carried().get() > 0);
         assert_eq!(link.active_flows(), 0);
+    }
+
+    use ninja_symvirt::{FaultPlan, FaultSpec};
+
+    /// Drive a machine to completion in queueing mode, or return the
+    /// error it failed with.
+    fn drive(
+        w: &mut World,
+        rt: &mut ninja_mpi::MpiRuntime,
+        m: &mut MigrationMachine,
+    ) -> Result<NinjaReport, SymVirtError> {
+        let mut wire = WireMode::Queueing;
+        loop {
+            match m.step(w, rt, &mut wire)? {
+                StepOutcome::Ready => w.advance_to(m.now()),
+                StepOutcome::Done(r) => return Ok(r),
+                StepOutcome::Waiting(_) => panic!("queueing mode never waits"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fault_retries_to_success() {
+        let mut w = World::agc(71);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.faults =
+            FaultPlan::from_specs(vec![
+                FaultSpec::parse("qmp-timeout:phase=detach:times=1").unwrap()
+            ]);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let report = drive(&mut w, &mut rt, &mut m).expect("one retry clears the fault");
+        assert!(!report.degraded);
+        assert_eq!(w.metrics.counter_total("ninja_fault_injections_total"), 1);
+        assert_eq!(
+            w.metrics
+                .counter("ninja_retries_total", &[("phase", "detach")]),
+            1
+        );
+    }
+
+    #[test]
+    fn retry_backoff_moves_virtual_time_only() {
+        // Same seed with and without a transient fault: the faulted run
+        // finishes exactly one backoff later and is otherwise identical
+        // (no RNG perturbation).
+        let run = |faulted: bool| {
+            let mut w = World::agc(72);
+            let vms = w.boot_ib_vms(2);
+            let mut rt = w.start_job(vms.clone(), 1);
+            if faulted {
+                w.faults = FaultPlan::from_specs(vec![FaultSpec::parse(
+                    "qmp-timeout:phase=detach:times=1",
+                )
+                .unwrap()]);
+            }
+            let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+            let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+            let report = drive(&mut w, &mut rt, &mut m).unwrap();
+            (w.clock.as_secs_f64(), report)
+        };
+        let (t_clean, r_clean) = run(false);
+        let (t_faulted, r_faulted) = run(true);
+        let backoff = RetryPolicy::default().backoff_before(1).as_secs_f64();
+        assert!((t_faulted - t_clean - backoff).abs() < 1e-9);
+        assert_eq!(r_clean.wire_bytes, r_faulted.wire_bytes);
+        assert_eq!(r_clean.detach.0, r_faulted.detach.0, "same hotplug draws");
+    }
+
+    #[test]
+    fn persistent_attach_failure_degrades_to_tcp() {
+        let mut w = World::agc(73);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.faults = FaultPlan::from_specs(vec![FaultSpec::parse("hotplug-attach").unwrap()]);
+        // IB -> IB move: the attach phase would normally restore openib.
+        let dsts: Vec<NodeId> = (2..4).map(|i| w.ib_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let report = drive(&mut w, &mut rt, &mut m).expect("degrades, not fails");
+        assert!(report.degraded);
+        assert_eq!(report.transport_after.as_deref(), Some("tcp"));
+        assert_eq!(report.attach.0, 0.0, "no device_add happened");
+        assert_eq!(report.linkup.0, 0.0, "no IB link to wait for");
+        assert!(m.degraded());
+        assert_eq!(w.metrics.counter_total("ninja_degraded_jobs"), 1);
+        // max_retries retries, then the terminal degrade fire.
+        let retries = RetryPolicy::default().max_retries as u64;
+        assert_eq!(
+            w.metrics.counter_total("ninja_fault_injections_total"),
+            retries + 1
+        );
+    }
+
+    #[test]
+    fn persistent_timeout_fails_the_job_cleanly() {
+        let mut w = World::agc(74);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.faults = FaultPlan::from_specs(vec![
+            FaultSpec::parse("qmp-timeout:phase=migration").unwrap()
+        ]);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let err = drive(&mut w, &mut rt, &mut m).unwrap_err();
+        assert!(
+            matches!(&err, SymVirtError::Vmm(VmmError::MonitorTimeout { command }) if command == "migration"),
+            "{err}"
+        );
+        // Guests are still safely frozen on their sources.
+        for &vm in m.vms() {
+            assert_eq!(w.pool.get(vm).state, ninja_vmm::VmState::SymWait);
+        }
+    }
+
+    #[test]
+    fn agent_disconnect_retries_after_respawn() {
+        let mut w = World::agc(75);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.faults = FaultPlan::from_specs(vec![FaultSpec::parse(
+            "agent-disconnect:phase=attach:times=1",
+        )
+        .unwrap()]);
+        let dsts: Vec<NodeId> = (2..4).map(|i| w.ib_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        let report = drive(&mut w, &mut rt, &mut m).expect("respawned agent retries");
+        assert!(!report.degraded);
+        assert_eq!(report.transport_after.as_deref(), Some("openib"));
+        assert_eq!(
+            w.metrics
+                .counter("ninja_retries_total", &[("phase", "attach")]),
+            1
+        );
+    }
+
+    #[test]
+    fn persistent_agent_disconnect_lists_failed_vms() {
+        let mut w = World::agc(76);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        w.faults = FaultPlan::from_specs(vec![FaultSpec::parse("agent-disconnect").unwrap()]);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms.clone(), dsts, w.clock);
+        let err = drive(&mut w, &mut rt, &mut m).unwrap_err();
+        assert!(
+            matches!(&err, SymVirtError::AgentsDisconnected(f) if f == &vec![vms[0]]),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn precopy_stall_adds_time_and_proceeds() {
+        let run = |stall: bool| {
+            let mut w = World::agc(77);
+            let vms = w.boot_ib_vms(2);
+            let mut rt = w.start_job(vms.clone(), 1);
+            if stall {
+                w.faults =
+                    FaultPlan::from_specs(
+                        vec![FaultSpec::parse("precopy-stall:stall=45").unwrap()],
+                    );
+            }
+            let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+            let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+            let r = drive(&mut w, &mut rt, &mut m).unwrap();
+            (w.clock.as_secs_f64(), r)
+        };
+        let (t_clean, _) = run(false);
+        let (t_stalled, r) = run(true);
+        assert!(!r.degraded);
+        assert!((t_stalled - t_clean - 45.0).abs() < 1e-9, "one 45 s stall");
+    }
+
+    #[test]
+    fn hotplug_leak_metric_name_pins_semantics() {
+        // Regression: the leak counter is exported under
+        // `ninja_hotplug_leaked_total` (it counts leaked IB resources,
+        // not retries) and the old misnomer is gone.
+        let mut w = World::agc(78);
+        let vms = w.boot_ib_vms(2);
+        let mut rt = w.start_job(vms.clone(), 1);
+        let dsts: Vec<NodeId> = (0..2).map(|i| w.eth_node(i)).collect();
+        let mut m = MigrationMachine::new(QemuMonitor::default(), vms, dsts, w.clock);
+        drive(&mut w, &mut rt, &mut m).unwrap();
+        let prom = w.metrics.to_prometheus();
+        assert!(
+            prom.contains("ninja_hotplug_leaked_total"),
+            "leak counter exported:\n{prom}"
+        );
+        assert!(
+            !prom.contains("ninja_hotplug_retries_total"),
+            "misnamed counter must not reappear"
+        );
+        // Graceful (non-forced) detach leaks nothing.
+        assert_eq!(w.metrics.counter_total("ninja_hotplug_leaked_total"), 0);
     }
 }

@@ -8,6 +8,7 @@
 use ninja_cluster::{ClusterId, DataCenter, NodeId, StorageId};
 use ninja_mpi::{CommEnv, JobLayout, MpiConfig, MpiRuntime};
 use ninja_sim::{MetricsRegistry, SimDuration, SimRng, SimTime, Trace};
+use ninja_symvirt::FaultPlan;
 use ninja_vmm::{VmId, VmPool, VmSpec};
 
 /// All mutable simulation state for one scenario.
@@ -30,6 +31,10 @@ pub struct World {
     pub ib_cluster: ClusterId,
     /// The Ethernet cluster id (AGC layout).
     pub eth_cluster: ClusterId,
+    /// Injected faults the migration stepper consults before each
+    /// phase. Empty by default — an empty plan fires nothing, draws no
+    /// randomness, and leaves every run bit-identical.
+    pub faults: FaultPlan,
 }
 
 impl World {
@@ -45,6 +50,7 @@ impl World {
             clock: SimTime::ZERO,
             ib_cluster: ib,
             eth_cluster: eth,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -68,6 +74,7 @@ impl World {
             clock: SimTime::ZERO,
             ib_cluster: primary,
             eth_cluster: secondary,
+            faults: FaultPlan::new(),
         }
     }
 

@@ -10,9 +10,24 @@
 //! ninja evacuate   [--vms N] [--concurrency C] [--seed S] [--json]
 //! ninja fleet      [--jobs J] [--vms-per-job V] [--concurrency C]
 //!                  [--arrival SECS] [--deadline SECS] [--uplink-gbps G]
-//!                  [--scenario evacuation|drain|rebalance] [--seed S] [--json]
+//!                  [--scenario evacuation|drain|rebalance|failover] [--seed S] [--json]
+//! ninja faults     [--jobs J] [--vms-per-job V] [--fault SPEC]...
+//!                  [--fault-seed S] [--max-retries N] [--backoff SECS]
+//!                  [--concurrency C] [--seed S] [--json]
 //! ninja trace summarize FILE
 //! ```
+//!
+//! `ninja faults` is the chaos drill: a failover burst onto spare IB
+//! nodes under an injected fault plan. `--fault` takes
+//! `KIND[:phase=P][:job=J][:mig=M][:times=N][:stall=SECS]` (kinds:
+//! `qmp-timeout`, `precopy-stall`, `precopy-abort`, `hotplug-attach`,
+//! `agent-disconnect`; repeatable); without `--fault` a random plan is
+//! drawn from `--fault-seed`. Transient faults retry with bounded
+//! exponential backoff (`--max-retries`, `--backoff`) in virtual time;
+//! a persistent `hotplug-attach` degrades the job to TCP and the fleet
+//! engine schedules an automatic recovery migration that restores
+//! InfiniBand. `--fault` also works with `fleet` and the single-job
+//! commands (there, faults target job 0, migration 0).
 //!
 //! `ninja fleet` runs many overlapping Ninja migrations through the
 //! fleet engine: jobs are triggered by a cloud-scheduler schedule,
@@ -44,7 +59,7 @@ use ninja_migration::{
     World,
 };
 use ninja_sim::{Bandwidth, Json, SimDuration, ToJson};
-use ninja_symvirt::GuestCooperative;
+use ninja_symvirt::{FaultPlan, FaultSpec, GuestCooperative, RetryPolicy};
 use ninja_vmm::SnapshotStore;
 use std::process::exit;
 
@@ -56,12 +71,18 @@ struct Args {
     ppv: u32,
     to: String,
     jobs: usize,
+    /// Whether `--jobs` was given (the `faults` drill defaults to 2).
+    jobs_set: bool,
     vms_per_job: usize,
     concurrency: usize,
     arrival: u64,
     deadline: Option<u64>,
     uplink_gbps: f64,
     scenario: String,
+    faults: Vec<String>,
+    fault_seed: Option<u64>,
+    max_retries: u32,
+    backoff_s: f64,
     json: bool,
     trace: bool,
     trace_out: Option<String>,
@@ -69,12 +90,45 @@ struct Args {
     trace_cap: Option<usize>,
 }
 
+impl Args {
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: self.max_retries,
+            backoff: SimDuration::from_secs_f64(self.backoff_s),
+        }
+    }
+
+    /// The fault plan the flags describe: explicit `--fault` specs, a
+    /// random plan when only `--fault-seed` was given, or the empty
+    /// plan (which fires nothing and leaves runs bit-identical).
+    fn fault_plan(&self, jobs: usize) -> FaultPlan {
+        if !self.faults.is_empty() {
+            let specs = self
+                .faults
+                .iter()
+                .map(|s| {
+                    FaultSpec::parse(s).unwrap_or_else(|e| {
+                        eprintln!("--fault {s}: {e}");
+                        exit(2)
+                    })
+                })
+                .collect();
+            FaultPlan::from_specs(specs)
+        } else if let Some(seed) = self.fault_seed {
+            FaultPlan::random(seed, jobs)
+        } else {
+            FaultPlan::new()
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: ninja <migrate|fallback|roundtrip|selfmig|checkpoint|fig8|evacuate|fleet> \
+        "usage: ninja <migrate|fallback|roundtrip|selfmig|checkpoint|fig8|evacuate|fleet|faults> \
          [--vms N] [--procs P] [--ppv P] [--to eth|ib] [--footprint-gib G] [--seed S] \
          [--jobs J] [--vms-per-job V] [--concurrency C] [--arrival SECS] [--deadline SECS] \
-         [--uplink-gbps G] [--scenario evacuation|drain|rebalance] \
+         [--uplink-gbps G] [--scenario evacuation|drain|rebalance|failover] \
+         [--fault SPEC]... [--fault-seed S] [--max-retries N] [--backoff SECS] \
          [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N]\n\
          \x20      ninja trace summarize FILE"
     );
@@ -90,12 +144,17 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
         ppv: 1,
         to: "eth".into(),
         jobs: 8,
+        jobs_set: false,
         vms_per_job: 1,
         concurrency: 1,
         arrival: 30,
         deadline: None,
         uplink_gbps: 10.0,
         scenario: "evacuation".into(),
+        faults: Vec::new(),
+        fault_seed: None,
+        max_retries: 2,
+        backoff_s: 5.0,
         json: false,
         trace: false,
         trace_out: None,
@@ -115,12 +174,30 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--ppv" => args.ppv = value("--ppv") as u32,
             "--seed" => args.seed = value("--seed"),
             "--footprint-gib" => args.footprint_gib = value("--footprint-gib"),
-            "--jobs" => args.jobs = value("--jobs") as usize,
+            "--jobs" => {
+                args.jobs = value("--jobs") as usize;
+                args.jobs_set = true;
+            }
             "--vms-per-job" => args.vms_per_job = value("--vms-per-job") as usize,
             "--concurrency" => args.concurrency = value("--concurrency") as usize,
             "--arrival" => args.arrival = value("--arrival"),
             "--deadline" => args.deadline = Some(value("--deadline")),
+            "--fault-seed" => args.fault_seed = Some(value("--fault-seed")),
+            "--max-retries" => args.max_retries = value("--max-retries") as u32,
             "--trace-cap" => args.trace_cap = Some(value("--trace-cap") as usize),
+            "--fault" => {
+                args.faults.push(it.next().unwrap_or_else(|| usage()));
+            }
+            "--backoff" => {
+                args.backoff_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| *s >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--backoff needs a non-negative number of seconds");
+                        usage()
+                    });
+            }
             "--json" => args.json = true,
             "--trace" => args.trace = true,
             "--uplink-gbps" => {
@@ -265,7 +342,11 @@ fn main() {
     let args = parse(argv);
     let mut world = World::agc(args.seed);
     world.trace.set_capacity(args.trace_cap);
-    let orch = NinjaOrchestrator::default();
+    // Single-job commands run as fleet job 0, migration 0 — that is
+    // what untargeted `--fault` specs hit. The empty plan (no fault
+    // flags) fires nothing and leaves every run bit-identical.
+    world.faults = args.fault_plan(1);
+    let orch = NinjaOrchestrator::default().with_retry(args.retry_policy());
     match cmd.as_str() {
         // `migrate` is the telemetry-first entry point: one Ninja
         // migration with the destination fabric chosen by `--to`.
@@ -442,6 +523,10 @@ fn main() {
         }
         "fleet" => {
             let kind = ScenarioKind::parse(&args.scenario).unwrap_or_else(|| usage());
+            if kind == ScenarioKind::Failover && 2 * args.jobs * args.vms_per_job > 8 {
+                eprintln!("failover needs spare IB nodes: 2 x --jobs x --vms-per-job must be <= 8");
+                exit(2);
+            }
             let spec = ScenarioSpec {
                 kind,
                 jobs: args.jobs,
@@ -451,10 +536,12 @@ fn main() {
             };
             let mut s = build(&spec);
             s.world.trace.set_capacity(args.trace_cap);
+            s.world.faults = args.fault_plan(args.jobs);
             let cfg = FleetConfig {
                 concurrency: args.concurrency,
                 deadline: args.deadline.map(SimDuration::from_secs),
                 uplink: Bandwidth::from_gbps(args.uplink_gbps),
+                retry: args.retry_policy(),
                 ..FleetConfig::default()
             };
             let report = {
@@ -465,6 +552,60 @@ fn main() {
                     .collect();
                 run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
                     eprintln!("fleet run failed: {e}");
+                    exit(1)
+                })
+            };
+            for job in &s.jobs {
+                s.world.record_wire_metrics(job);
+            }
+            if args.json {
+                println!("{}", report.to_json().to_string_pretty());
+            } else {
+                println!("{report}");
+            }
+            world = s.world;
+        }
+        "faults" => {
+            // The chaos drill: failover burst onto spare IB nodes under
+            // an injected fault plan. Defaults to 2 jobs so the spare
+            // half of the 8-node cluster can absorb them.
+            let jobs = if args.jobs_set { args.jobs } else { 2 };
+            if 2 * jobs * args.vms_per_job > 8 {
+                eprintln!("faults drill: 2 x --jobs x --vms-per-job must be <= 8 (spare IB nodes)");
+                exit(2);
+            }
+            let spec = ScenarioSpec {
+                kind: ScenarioKind::Failover,
+                jobs,
+                vms_per_job: args.vms_per_job,
+                arrival: SimDuration::from_secs(args.arrival),
+                seed: args.seed,
+            };
+            let mut s = build(&spec);
+            s.world.trace.set_capacity(args.trace_cap);
+            // Explicit --fault specs win; otherwise draw a random plan
+            // from --fault-seed (default: the world seed).
+            s.world.faults = if args.faults.is_empty() && args.fault_seed.is_none() {
+                ninja_symvirt::FaultPlan::random(args.seed, jobs)
+            } else {
+                args.fault_plan(jobs)
+            };
+            eprintln!("fault plan: {:?}", s.world.faults.specs());
+            let cfg = FleetConfig {
+                concurrency: args.concurrency,
+                deadline: args.deadline.map(SimDuration::from_secs),
+                uplink: Bandwidth::from_gbps(args.uplink_gbps),
+                retry: args.retry_policy(),
+                ..FleetConfig::default()
+            };
+            let report = {
+                let mut jobs: Vec<&mut dyn GuestCooperative> = s
+                    .jobs
+                    .iter_mut()
+                    .map(|j| j as &mut dyn GuestCooperative)
+                    .collect();
+                run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
+                    eprintln!("faults drill failed: {e}");
                     exit(1)
                 })
             };

@@ -17,11 +17,13 @@
 //! world RNG the machines draw hotplug latencies from.
 
 use crate::admission::{AdmissionController, QueuedJob};
-use crate::slo::{FleetReport, JobOutcome};
-use ninja_migration::{CloudScheduler, MigrationMachine, StepOutcome, WireMode, World};
+use crate::slo::{FleetReport, JobFailure, JobOutcome};
+use ninja_migration::{
+    CloudScheduler, MigrationMachine, StepOutcome, TriggerReason, WireMode, World,
+};
 use ninja_net::FairShareLink;
 use ninja_sim::{Bandwidth, SimDuration, SimTime};
-use ninja_symvirt::{GuestCooperative, SymVirtError};
+use ninja_symvirt::{GuestCooperative, RetryPolicy};
 use ninja_vmm::QemuMonitor;
 use std::fmt;
 
@@ -38,6 +40,8 @@ pub struct FleetConfig {
     pub uplink: Bandwidth,
     /// Migration config (sender cap, scan rate, RDMA) for every job.
     pub monitor: QemuMonitor,
+    /// Retry policy the machines use when the world's fault plan fires.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FleetConfig {
@@ -47,11 +51,14 @@ impl Default for FleetConfig {
             deadline: None,
             uplink: Bandwidth::from_gbps(10.0),
             monitor: QemuMonitor::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Errors from a fleet run.
+/// Errors from a fleet run. Migration failures are NOT among them: a
+/// job whose migration dies (injected fault, retries exhausted) is
+/// recorded as a [`JobFailure`] in the report and the run continues.
 #[derive(Debug)]
 pub enum FleetError {
     /// A trigger without a `job` tag reached the fleet engine.
@@ -60,8 +67,9 @@ pub enum FleetError {
     BadJobIndex(usize),
     /// A job was triggered again before its first migration finished.
     DuplicateTrigger(usize),
-    /// A migration failed mid-run.
-    Migration(SymVirtError),
+    /// The event loop stopped making progress (same-instant spin
+    /// bound exceeded) — an engine bug, surfaced instead of hanging.
+    Stalled,
 }
 
 impl fmt::Display for FleetError {
@@ -72,18 +80,15 @@ impl fmt::Display for FleetError {
             }
             FleetError::BadJobIndex(j) => write!(f, "trigger names unknown job {j}"),
             FleetError::DuplicateTrigger(j) => write!(f, "job {j} triggered twice"),
-            FleetError::Migration(e) => write!(f, "fleet migration failed: {e}"),
+            FleetError::Stalled => write!(
+                f,
+                "fleet event loop stalled: no progress over the spin bound"
+            ),
         }
     }
 }
 
 impl std::error::Error for FleetError {}
-
-impl From<SymVirtError> for FleetError {
-    fn from(e: SymVirtError) -> Self {
-        FleetError::Migration(e)
-    }
-}
 
 struct Running {
     machine: MigrationMachine,
@@ -97,9 +102,13 @@ struct Running {
 
 /// Drive every scheduled migration to completion. `jobs[i]` is the
 /// application the scheduler's job-`i` triggers move; each job may be
-/// triggered at most once per run. Returns the SLO report; on error the
-/// world is left at the failure instant (migrations already completed
-/// stay completed).
+/// externally triggered at most once per run. A job whose migration
+/// lands degraded (TCP because the IB re-attach failed) gets one
+/// automatic **recovery migration**: a self-migration back onto its
+/// current hosts, enqueued no earlier than the instant the degraded
+/// migration finished (per-VM causal order), re-attaching the HCAs and
+/// restoring InfiniBand. Failed migrations are captured per job in the
+/// report; structural errors (bad triggers) still abort the run.
 pub fn run_fleet(
     world: &mut World,
     jobs: &mut [&mut dyn GuestCooperative],
@@ -125,24 +134,58 @@ pub fn run_fleet(
     link.advance_to(world.clock);
     let first_trigger = scheduler.next_at();
     let mut running: Vec<Option<Running>> = (0..jobs.len()).map(|_| None).collect();
-    let mut outcomes: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+    // Several outcomes per job: the triggered migration, plus the
+    // automatic recovery migration when the first one degraded.
+    let mut outcomes: Vec<Vec<JobOutcome>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+    let mut failures: Vec<JobFailure> = Vec::new();
+    let mut externally_triggered = vec![false; jobs.len()];
+    // How many migrations each job has started — the `mig` coordinate
+    // fault specs target (0 = the triggered one, 1 = recovery).
+    let mut mig_count = vec![0usize; jobs.len()];
+    // Recovery migrations waiting for the world clock to reach the
+    // instant their degraded predecessor finished (causal order).
+    let mut pending_recovery: Vec<(SimTime, QueuedJob)> = Vec::new();
+    // Same-instant spin bound: a correct loop makes progress (clock
+    // advance, admission, or completion) long before this.
+    let mut spins = 0u32;
+    let mut last_clock = world.clock;
 
     loop {
-        // 1. Deliver due triggers into the ready queue.
+        if world.clock > last_clock {
+            last_clock = world.clock;
+            spins = 0;
+        } else {
+            spins += 1;
+            if spins > 100_000 {
+                return Err(FleetError::Stalled);
+            }
+        }
+        // 1. Deliver due triggers into the ready queue. External
+        //    triggers first (scheduler order), then due recoveries in
+        //    (time, job) order — all deterministic.
         while let Some(t) = scheduler.poll(world.clock) {
             let job = t.job.ok_or(FleetError::UntaggedTrigger)?;
             if job >= jobs.len() {
                 return Err(FleetError::BadJobIndex(job));
             }
-            if running[job].is_some() || outcomes[job].is_some() {
+            if externally_triggered[job] {
                 return Err(FleetError::DuplicateTrigger(job));
             }
+            externally_triggered[job] = true;
             adm.enqueue(QueuedJob {
                 job,
                 dsts: t.dsts,
                 triggered_at: t.at,
                 reason: t.reason,
             });
+        }
+        pending_recovery.sort_by_key(|(t, q)| (*t, q.job));
+        while pending_recovery
+            .first()
+            .is_some_and(|(t, _)| *t <= world.clock)
+        {
+            let (_, q) = pending_recovery.remove(0);
+            adm.enqueue(q);
         }
         // 2. Admit while slots are free.
         while let Some(q) = adm.admit() {
@@ -151,7 +194,10 @@ pub fn run_fleet(
                 .metrics
                 .observe_duration("ninja_fleet_queue_wait_seconds", &[], wait);
             let machine =
-                MigrationMachine::new(cfg.monitor.clone(), jobs[q.job].vms(), q.dsts, world.clock);
+                MigrationMachine::new(cfg.monitor.clone(), jobs[q.job].vms(), q.dsts, world.clock)
+                    .with_fault_target(q.job, mig_count[q.job])
+                    .with_retry(cfg.retry);
+            mig_count[q.job] += 1;
             running[q.job] = Some(Running {
                 machine,
                 next_at: world.clock,
@@ -179,9 +225,23 @@ pub fn run_fleet(
             {
                 let r = running[j].as_mut().expect("checked above");
                 let mut wire = WireMode::FairShare(&mut link);
-                match r.machine.step(world, &mut *jobs[j], &mut wire)? {
-                    StepOutcome::Ready => r.next_at = r.machine.now(),
-                    StepOutcome::Waiting(t) => {
+                match r.machine.step(world, &mut *jobs[j], &mut wire) {
+                    Err(e) => {
+                        // This job is done for; the fleet is not. Record
+                        // the failure, free the slot, keep going.
+                        let r = running[j].take().expect("was running");
+                        failures.push(JobFailure {
+                            job: j,
+                            reason: r.reason,
+                            error: e.to_string(),
+                            failed_at: r.machine.now().as_secs_f64(),
+                        });
+                        adm.release();
+                        freed_slot = true;
+                        break;
+                    }
+                    Ok(StepOutcome::Ready) => r.next_at = r.machine.now(),
+                    Ok(StepOutcome::Waiting(t)) => {
                         r.next_at = t;
                         if t <= world.clock {
                             // The wire has been advanced to t already;
@@ -190,11 +250,12 @@ pub fn run_fleet(
                         }
                         break;
                     }
-                    StepOutcome::Done(report) => {
+                    Ok(StepOutcome::Done(report)) => {
                         let r = running[j].take().expect("was running");
                         let finished = r.machine.now();
                         let turnaround = finished.since(r.triggered_at);
-                        outcomes[j] = Some(JobOutcome {
+                        let degraded = report.degraded;
+                        outcomes[j].push(JobOutcome {
                             job: j,
                             reason: r.reason,
                             triggered_at: r.triggered_at.as_secs_f64(),
@@ -204,6 +265,33 @@ pub fn run_fleet(
                             deadline_missed: cfg.deadline.is_some_and(|d| turnaround > d),
                             report,
                         });
+                        if degraded && r.reason != TriggerReason::Recovery {
+                            // Schedule the recovery: a self-migration
+                            // onto the job's current hosts re-attaches
+                            // the HCAs the degrade left free, restoring
+                            // IB after link training. Not before
+                            // `finished`: the job's Fig. 4 phases must
+                            // stay causally ordered per VM.
+                            let dsts = jobs[j]
+                                .vms()
+                                .iter()
+                                .map(|&vm| world.pool.get(vm).node)
+                                .collect();
+                            world.metrics.describe(
+                                "ninja_recovery_migrations_total",
+                                "Automatic recovery migrations after degraded jobs",
+                            );
+                            world.metrics.inc("ninja_recovery_migrations_total", &[], 1);
+                            pending_recovery.push((
+                                finished,
+                                QueuedJob {
+                                    job: j,
+                                    dsts,
+                                    triggered_at: finished,
+                                    reason: TriggerReason::Recovery,
+                                },
+                            ));
+                        }
                         adm.release();
                         freed_slot = true;
                     }
@@ -221,6 +309,9 @@ pub fn run_fleet(
         }
         if let Some(t) = scheduler.next_at() {
             t_next = t_next.min(t);
+        }
+        for (t, _) in &pending_recovery {
+            t_next = t_next.min(*t);
         }
         if t_next == SimTime::MAX {
             debug_assert_eq!(adm.depth(), 0, "queued job with nothing running");
@@ -248,5 +339,6 @@ pub fn run_fleet(
         concurrency: cfg.concurrency,
         peak_queue_depth: adm.peak_depth(),
         deadline_s: cfg.deadline.map(|d| d.as_secs_f64()),
+        failures,
     })
 }

@@ -48,4 +48,4 @@ pub mod slo;
 pub use admission::{AdmissionController, QueuedJob};
 pub use engine::{run_fleet, FleetConfig, FleetError};
 pub use scenario::{build, Scenario, ScenarioKind, ScenarioSpec};
-pub use slo::{percentile, FleetReport, JobOutcome};
+pub use slo::{percentile, FleetReport, JobFailure, JobOutcome};

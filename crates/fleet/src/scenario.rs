@@ -31,6 +31,12 @@ pub enum ScenarioKind {
     RollingDrain,
     /// Consolidation stream: staggered triggers, Eth → fewer Eth hosts.
     Rebalance,
+    /// Failover burst onto *spare IB nodes*: all jobs triggered at t₀,
+    /// IB → IB. The destinations have free HCAs, so the attach phase
+    /// normally restores InfiniBand — which is exactly what injected
+    /// `hotplug-attach` faults break, making this the canvas for the
+    /// degrade-to-TCP / recovery-migration story (`ninja faults`).
+    Failover,
 }
 
 impl ScenarioKind {
@@ -40,6 +46,7 @@ impl ScenarioKind {
             "evacuation" => Some(ScenarioKind::Evacuation),
             "drain" => Some(ScenarioKind::RollingDrain),
             "rebalance" => Some(ScenarioKind::Rebalance),
+            "failover" => Some(ScenarioKind::Failover),
             _ => None,
         }
     }
@@ -50,6 +57,7 @@ impl ScenarioKind {
             ScenarioKind::Evacuation => "evacuation",
             ScenarioKind::RollingDrain => "drain",
             ScenarioKind::Rebalance => "rebalance",
+            ScenarioKind::Failover => "failover",
         }
     }
 }
@@ -91,6 +99,11 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
         total_vms <= 8,
         "jobs x vms-per-job = {total_vms} exceeds the 8-node source cluster"
     );
+    assert!(
+        spec.kind != ScenarioKind::Failover || 2 * total_vms <= 8,
+        "failover needs spare IB nodes: 2 x jobs x vms-per-job = {} exceeds the 8-node cluster",
+        2 * total_vms
+    );
     let mut world = World::agc(spec.seed);
     let on_ib = spec.kind != ScenarioKind::Rebalance;
     let jobs = boot_jobs(&mut world, spec.jobs, spec.vms_per_job, on_ib);
@@ -98,8 +111,9 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     let t0 = world.clock;
     let mut arrivals = world.rng.fork(0xf1ee7);
     let mut at = t0;
+    let burst = matches!(spec.kind, ScenarioKind::Evacuation | ScenarioKind::Failover);
     for (j, job) in jobs.iter().enumerate() {
-        if spec.kind != ScenarioKind::Evacuation {
+        if !burst {
             at += SimDuration::from_secs_f64(arrivals.exponential(spec.arrival.as_secs_f64()));
         }
         let dsts = destinations(&world, spec, j, job);
@@ -117,6 +131,7 @@ fn reason(kind: ScenarioKind) -> TriggerReason {
         ScenarioKind::Evacuation => TriggerReason::Fallback,
         ScenarioKind::RollingDrain => TriggerReason::Fallback,
         ScenarioKind::Rebalance => TriggerReason::Placement,
+        ScenarioKind::Failover => TriggerReason::Fallback,
     }
 }
 
@@ -178,6 +193,14 @@ fn destinations(world: &World, spec: &ScenarioSpec, j: usize, job: &MpiRuntime) 
         ScenarioKind::Rebalance => (0..n)
             .map(|k| world.eth_node((j * spec.vms_per_job + k) / 2))
             .collect(),
+        // Onto the spare half of the IB cluster, straight across: the
+        // destinations' HCAs are untouched, so attach restores IB.
+        ScenarioKind::Failover => {
+            let total = spec.jobs * spec.vms_per_job;
+            (0..n)
+                .map(|k| world.ib_node(total + j * spec.vms_per_job + k))
+                .collect()
+        }
     }
 }
 
@@ -257,6 +280,39 @@ mod tests {
         build(&ScenarioSpec {
             kind: ScenarioKind::Evacuation,
             jobs: 5,
+            vms_per_job: 2,
+            arrival: SimDuration::from_secs(1),
+            seed: 1,
+        });
+    }
+
+    #[test]
+    fn failover_bursts_onto_spare_ib_nodes() {
+        let s = build(&ScenarioSpec {
+            kind: ScenarioKind::Failover,
+            jobs: 2,
+            vms_per_job: 2,
+            arrival: SimDuration::from_secs(30),
+            seed: 7,
+        });
+        let spare: Vec<_> = (4..8).map(|i| s.world.ib_node(i)).collect();
+        let mut sched = s.scheduler;
+        let t0 = sched.next_at().unwrap();
+        let mut dsts_seen = Vec::new();
+        while let Some(t) = sched.poll(SimTime::MAX) {
+            assert_eq!(t.at, t0, "failover is a burst");
+            assert_eq!(t.reason, TriggerReason::Fallback);
+            dsts_seen.extend(t.dsts);
+        }
+        assert_eq!(dsts_seen, spare, "straight across onto the spare half");
+    }
+
+    #[test]
+    #[should_panic(expected = "spare IB nodes")]
+    fn oversized_failover_rejected() {
+        build(&ScenarioSpec {
+            kind: ScenarioKind::Failover,
+            jobs: 3,
             vms_per_job: 2,
             arrival: SimDuration::from_secs(1),
             seed: 1,

@@ -37,6 +37,38 @@ impl JobOutcome {
     pub fn blackout_s(&self) -> f64 {
         self.report.total()
     }
+
+    /// Whether this migration landed on TCP because the IB re-attach
+    /// failed (graceful degradation).
+    pub fn degraded(&self) -> bool {
+        self.report.degraded
+    }
+}
+
+/// A job whose migration failed mid-flight (retries exhausted on a
+/// non-degradable fault). The fleet run keeps going; the failure is
+/// reported instead of aborting the whole drill.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Fleet job index.
+    pub job: usize,
+    /// Why the scheduler had moved it.
+    pub reason: TriggerReason,
+    /// The terminal error, rendered.
+    pub error: String,
+    /// When the migration gave up (seconds since the run started).
+    pub failed_at: f64,
+}
+
+impl ToJson for JobFailure {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("job", Json::from(self.job)),
+            ("reason", Json::from(reason_label(self.reason))),
+            ("error", Json::from(self.error.clone())),
+            ("failed_at", Json::from(self.failed_at)),
+        ])
+    }
 }
 
 fn reason_label(r: TriggerReason) -> &'static str {
@@ -49,7 +81,9 @@ fn reason_label(r: TriggerReason) -> &'static str {
 
 impl ToJson for JobOutcome {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        // `degraded` only appears when true: fault-free runs serialize
+        // bit-identically to builds without fault injection.
+        let mut fields = vec![
             ("job", Json::from(self.job)),
             ("reason", Json::from(reason_label(self.reason))),
             ("triggered_at", Json::from(self.triggered_at)),
@@ -58,8 +92,12 @@ impl ToJson for JobOutcome {
             ("finished_at", Json::from(self.finished_at)),
             ("blackout_s", Json::from(self.blackout_s())),
             ("deadline_missed", Json::from(self.deadline_missed)),
-            ("report", self.report.to_json()),
-        ])
+        ];
+        if self.degraded() {
+            fields.push(("degraded", Json::from(true)));
+        }
+        fields.push(("report", self.report.to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -76,16 +114,20 @@ pub struct FleetReport {
     pub peak_queue_depth: usize,
     /// Per-job deadline, if one was set.
     pub deadline_s: Option<f64>,
+    /// Jobs whose migration failed mid-flight (fault injection with
+    /// retries exhausted). Empty on every fault-free run.
+    pub failures: Vec<JobFailure>,
 }
 
 /// Nearest-rank percentile (the convention SLO dashboards use): the
 /// smallest value such that at least `q`% of samples are ≤ it.
+/// Total-order sort, so a stray NaN sorts last instead of panicking.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -130,14 +172,48 @@ impl FleetReport {
         self.jobs.iter().map(|j| j.report.wire_bytes).sum()
     }
 
+    /// Distinct jobs that degraded to TCP at least once during the run
+    /// (even if a recovery migration later restored InfiniBand).
+    pub fn degraded_jobs(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for j in self.jobs.iter().filter(|j| j.degraded()) {
+            seen.insert(j.job);
+        }
+        seen.len()
+    }
+
+    /// Automatic recovery migrations the engine ran (reason `recovery`).
+    pub fn recovery_migrations(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.reason == TriggerReason::Recovery)
+            .count()
+    }
+
+    /// Jobs that degraded to TCP and whose recovery migration then
+    /// restored a non-degraded transport.
+    pub fn recovered_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.degraded())
+            .filter(|d| {
+                self.jobs
+                    .iter()
+                    .any(|r| r.job == d.job && r.reason == TriggerReason::Recovery && !r.degraded())
+            })
+            .map(|j| j.job)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
     /// CSV export, one row per job.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "job,reason,vms,triggered_at,started_at,queue_wait_s,blackout_s,finished_at,wire_bytes,deadline_missed\n",
+            "job,reason,vms,triggered_at,started_at,queue_wait_s,blackout_s,finished_at,wire_bytes,deadline_missed,degraded\n",
         );
         for j in &self.jobs {
             out.push_str(&format!(
-                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}\n",
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}\n",
                 j.job,
                 reason_label(j.reason),
                 j.report.vm_count,
@@ -148,6 +224,7 @@ impl FleetReport {
                 j.finished_at,
                 j.report.wire_bytes,
                 j.deadline_missed,
+                j.degraded(),
             ));
         }
         out
@@ -156,7 +233,9 @@ impl FleetReport {
 
 impl ToJson for FleetReport {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        // The fault-accounting keys only appear when nonzero, keeping
+        // fault-free output byte-stable.
+        let mut fields = vec![
             ("jobs", Json::from(self.jobs.len())),
             ("concurrency", Json::from(self.concurrency)),
             ("makespan_s", Json::from(self.makespan_s)),
@@ -171,8 +250,22 @@ impl ToJson for FleetReport {
                 self.deadline_s.map(Json::from).unwrap_or(Json::Null),
             ),
             ("deadline_misses", Json::from(self.deadline_misses())),
-            ("outcomes", self.jobs.to_json()),
-        ])
+        ];
+        if self.degraded_jobs() > 0 {
+            fields.push(("degraded_jobs", Json::from(self.degraded_jobs())));
+            fields.push(("recovered_jobs", Json::from(self.recovered_jobs())));
+        }
+        if self.recovery_migrations() > 0 {
+            fields.push((
+                "recovery_migrations",
+                Json::from(self.recovery_migrations()),
+            ));
+        }
+        if !self.failures.is_empty() {
+            fields.push(("failures", self.failures.to_json()));
+        }
+        fields.push(("outcomes", self.jobs.to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -209,9 +302,23 @@ impl fmt::Display for FleetReport {
                 "  deadline     {:.0}s, {} missed",
                 d,
                 self.deadline_misses()
-            ),
-            None => write!(f, "  deadline     none"),
+            )?,
+            None => write!(f, "  deadline     none")?,
         }
+        if self.degraded_jobs() > 0 {
+            write!(
+                f,
+                "\n  degraded     {} job(s) fell back to TCP, {} recovered to IB",
+                self.degraded_jobs(),
+                self.recovered_jobs()
+            )?;
+        }
+        if !self.failures.is_empty() {
+            for fail in &self.failures {
+                write!(f, "\n  FAILED job {} : {}", fail.job, fail.error)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +364,53 @@ mod tests {
     }
 
     #[test]
+    fn percentile_tolerates_nan_without_panicking() {
+        // Total-order sort puts NaN last instead of panicking; finite
+        // quantiles below the NaN's rank are unaffected.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert!(percentile(&v, 100.0).is_nan());
+    }
+
+    /// Property: on degenerate sample sets, nearest-rank `percentile`
+    /// agrees with `ninja_sim::Histogram::quantile` whenever the
+    /// histogram's bucket bounds are exactly the sorted unique sample
+    /// values — both implement "smallest value with cumulative count ≥
+    /// ceil(q·n), at least 1".
+    #[test]
+    fn percentile_matches_histogram_quantile_on_degenerate_sets() {
+        use ninja_sim::{Histogram, SimRng};
+        let mut rng = SimRng::new(0x51_0e);
+        let mut cases: Vec<Vec<f64>> = vec![
+            vec![42.0],                    // n = 1
+            vec![5.0; 7],                  // all ties
+            vec![1.0, 1.0, 2.0, 2.0, 2.0], // partial ties
+            vec![0.0, 0.0, 0.0, 1e9],      // extreme spread with ties
+            (1..=100).map(f64::from).collect(),
+        ];
+        for n in [2usize, 3, 17] {
+            cases.push((0..n).map(|_| (rng.below(5) as f64) * 0.5).collect());
+        }
+        for values in &cases {
+            let mut bounds: Vec<f64> = values.clone();
+            bounds.sort_by(f64::total_cmp);
+            bounds.dedup();
+            let mut h = Histogram::new(bounds);
+            for &v in values {
+                h.record(v);
+            }
+            for q in [0.0, 50.0, 99.0, 100.0] {
+                let ours = percentile(values, q);
+                let hist = h.quantile(q / 100.0).expect("non-empty histogram");
+                assert_eq!(
+                    ours, hist,
+                    "q={q} diverged on {values:?}: percentile {ours} vs histogram {hist}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn report_aggregates_and_serializes() {
         let jobs: Vec<JobOutcome> = (0..4).map(|i| outcome(i, i as f64 * 50.0, 40)).collect();
         let makespan = jobs.iter().map(|j| j.finished_at).fold(0.0, f64::max) - 10.0;
@@ -266,6 +420,7 @@ mod tests {
             concurrency: 2,
             peak_queue_depth: 3,
             deadline_s: Some(120.0),
+            failures: Vec::new(),
         };
         assert_eq!(r.deadline_misses(), 1, "the 150 s wait missed");
         assert_eq!(r.total_wire_bytes(), 4 * (1u64 << 30));
@@ -281,5 +436,44 @@ mod tests {
         let shown = r.to_string();
         assert!(shown.contains("makespan"));
         assert!(shown.contains("p99"));
+        // Fault-free: no fault-accounting keys, columns, or lines.
+        assert!(j.to_string().find("degraded").is_none());
+        assert!(!shown.contains("degraded"));
+        assert!(csv.lines().next().unwrap().ends_with(",degraded"));
+    }
+
+    #[test]
+    fn degraded_and_recovery_accounting() {
+        let mut degraded = outcome(0, 0.0, 40);
+        degraded.report.degraded = true;
+        let mut recovery = outcome(0, 0.0, 40);
+        recovery.reason = TriggerReason::Recovery;
+        let r = FleetReport {
+            jobs: vec![degraded, outcome(1, 5.0, 40), recovery],
+            makespan_s: 100.0,
+            concurrency: 1,
+            peak_queue_depth: 1,
+            deadline_s: None,
+            failures: vec![JobFailure {
+                job: 2,
+                reason: TriggerReason::Fallback,
+                error: "QMP command 'detach' timed out".into(),
+                failed_at: 33.0,
+            }],
+        };
+        assert_eq!(r.degraded_jobs(), 1);
+        assert_eq!(r.recovery_migrations(), 1);
+        assert_eq!(r.recovered_jobs(), 1, "recovery restored the transport");
+        let j = r.to_json();
+        assert_eq!(j["degraded_jobs"].as_u64(), Some(1));
+        assert_eq!(j["recovered_jobs"].as_u64(), Some(1));
+        assert_eq!(j["recovery_migrations"].as_u64(), Some(1));
+        assert_eq!(j["failures"].as_array().unwrap().len(), 1);
+        let shown = r.to_string();
+        assert!(shown.contains("1 job(s) fell back to TCP"));
+        assert!(shown.contains("FAILED job 2"));
+        let csv = r.to_csv();
+        assert!(csv.lines().nth(1).unwrap().ends_with(",true"));
+        assert!(csv.contains(",recovery,"));
     }
 }

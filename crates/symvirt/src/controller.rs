@@ -137,11 +137,24 @@ impl Controller {
     }
 
     /// Simulate the crash of the agent serving `vm`: its monitor
-    /// connection drops and every subsequent phase touching that VM
-    /// fails with [`SymVirtError::AgentDisconnected`]. The guests stay
-    /// safely paused in SymVirt wait — a fresh controller can take over.
+    /// connection drops and every subsequent phase fails with
+    /// [`SymVirtError::AgentsDisconnected`], listing every failed VM.
+    /// The guests stay safely paused in SymVirt wait — a fresh
+    /// controller (or [`repair_agents`](Controller::repair_agents)) can
+    /// take over.
     pub fn inject_agent_failure(&mut self, vm: VmId) {
         self.failed_agents.insert(vm);
+    }
+
+    /// Every agent currently disconnected, sorted by VM id.
+    pub fn failed_agents(&self) -> Vec<VmId> {
+        self.failed_agents.iter().copied().collect()
+    }
+
+    /// Respawn every crashed agent (the retry path reconnects them to
+    /// their QEMU monitors); subsequent phases run normally.
+    pub fn repair_agents(&mut self) {
+        self.failed_agents.clear();
     }
 
     /// Returns the hostlist.
@@ -166,8 +179,10 @@ impl Controller {
                 self.hostlist.first().copied().unwrap_or(VmId(0)),
             ));
         }
-        if let Some(&vm) = self.failed_agents.iter().next() {
-            return Err(SymVirtError::AgentDisconnected(vm));
+        if !self.failed_agents.is_empty() {
+            // Report every disconnected agent, not just the first — an
+            // operator (or the retry loop) needs the full blast radius.
+            return Err(SymVirtError::AgentsDisconnected(self.failed_agents()));
         }
         Ok(())
     }
@@ -566,11 +581,39 @@ mod tests {
         let err = ctl
             .device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
             .unwrap_err();
-        assert!(matches!(err, SymVirtError::AgentDisconnected(vm) if vm == vms[2]));
+        assert!(matches!(&err, SymVirtError::AgentsDisconnected(v) if v == &vec![vms[2]]));
         // Nothing happened: every HCA is still attached.
         for &vm in &vms {
             assert_eq!(pool.get(vm).passthrough.len(), 1);
         }
+    }
+
+    #[test]
+    fn failure_report_lists_every_disconnected_agent() {
+        let (mut dc, mut pool, vms, mut rng) = world();
+        pause_all(&mut pool, &vms);
+        let mut ctl = Controller::new(vms.clone(), QemuMonitor::default());
+        // Two agents drop; the error must surface both, not just the
+        // first in iteration order.
+        ctl.inject_agent_failure(vms[3]);
+        ctl.inject_agent_failure(vms[1]);
+        assert_eq!(ctl.failed_agents(), vec![vms[1], vms[3]], "sorted");
+        let err = ctl
+            .device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap_err();
+        match &err {
+            SymVirtError::AgentsDisconnected(failed) => {
+                assert_eq!(failed, &vec![vms[1], vms[3]]);
+            }
+            other => panic!("expected AgentsDisconnected, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("VmId(1)") && msg.contains("VmId(3)"), "{msg}");
+        // Respawning the agents clears the fault.
+        ctl.repair_agents();
+        assert!(ctl.failed_agents().is_empty());
+        ctl.device_detach("hca-", &mut pool, &mut dc, SimTime::ZERO, &mut rng, false)
+            .unwrap();
     }
 
     #[test]

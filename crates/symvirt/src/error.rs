@@ -18,6 +18,10 @@ pub enum SymVirtError {
     EmptyHostlist,
     /// An agent lost its QEMU monitor connection.
     AgentDisconnected(VmId),
+    /// One or more agents lost their QEMU monitor connections; every
+    /// failed VM is listed (sorted), so an operator sees the full blast
+    /// radius in one report rather than one VM per attempt.
+    AgentsDisconnected(Vec<VmId>),
 }
 
 impl fmt::Display for SymVirtError {
@@ -31,6 +35,13 @@ impl fmt::Display for SymVirtError {
             SymVirtError::EmptyHostlist => write!(f, "empty destination host list"),
             SymVirtError::AgentDisconnected(vm) => {
                 write!(f, "SymVirt agent for {vm:?} lost its monitor connection")
+            }
+            SymVirtError::AgentsDisconnected(vms) => {
+                write!(
+                    f,
+                    "{} SymVirt agent(s) lost their monitor connections: {vms:?}",
+                    vms.len()
+                )
             }
         }
     }
@@ -74,5 +85,9 @@ mod tests {
         assert!(SymVirtError::AgentDisconnected(VmId(1))
             .to_string()
             .contains("monitor connection"));
+        let multi = SymVirtError::AgentsDisconnected(vec![VmId(1), VmId(3)]);
+        let s = multi.to_string();
+        assert!(s.contains("VmId(1)") && s.contains("VmId(3)"), "{s}");
+        assert!(s.starts_with("2 SymVirt agent(s)"), "{s}");
     }
 }

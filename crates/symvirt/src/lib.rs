@@ -19,9 +19,11 @@
 pub mod controller;
 pub mod coordinator;
 pub mod error;
+pub mod faults;
 pub mod generic;
 
 pub use controller::{AgentAction, Controller, DevicePhase, MigrationPhase, PendingMigration};
 pub use coordinator::{CoordReport, Coordinator};
 pub use error::SymVirtError;
+pub use faults::{FaultKind, FaultPhase, FaultPlan, FaultSpec, Injected, RetryPolicy};
 pub use generic::{GuestCooperative, PrepareReport, ResumeOutcome, SocketService};

@@ -50,6 +50,15 @@ pub enum VmmError {
     },
     /// The monitor connection is gone (VM destroyed).
     NoSuchVm,
+    /// A QMP command got no reply within the command deadline (fault
+    /// injection / wedged QEMU). Retryable by the caller.
+    MonitorTimeout {
+        /// The command that timed out (phase name).
+        command: String,
+    },
+    /// QEMU aborted the live migration mid-stream (fault injection /
+    /// precopy failure). The guest is intact on the source.
+    MigrationAborted,
 }
 
 impl fmt::Display for VmmError {
@@ -77,6 +86,18 @@ impl fmt::Display for VmmError {
                 "device {device:?} still holds {leaked} IB resources; unsafe to detach"
             ),
             VmmError::NoSuchVm => write!(f, "no such VM"),
+            VmmError::MonitorTimeout { command } => {
+                write!(
+                    f,
+                    "QMP command '{command}' timed out (monitor unresponsive)"
+                )
+            }
+            VmmError::MigrationAborted => {
+                write!(
+                    f,
+                    "live migration aborted mid-stream; guest intact on source"
+                )
+            }
         }
     }
 }
@@ -107,6 +128,12 @@ mod tests {
         assert!(e.to_string().contains("7 IB resources"));
         let e = VmmError::NoSuchDeviceTag { tag: "vf0".into() };
         assert!(e.to_string().contains("'vf0'"));
+        let e = VmmError::MonitorTimeout {
+            command: "device_del".into(),
+        };
+        assert!(e.to_string().contains("'device_del'"));
+        assert!(e.to_string().contains("timed out"));
+        assert!(VmmError::MigrationAborted.to_string().contains("aborted"));
     }
 
     #[test]

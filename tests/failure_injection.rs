@@ -155,7 +155,7 @@ fn agent_crash_before_signal_is_recoverable() {
     // The agent for VM 1 crashes before signal.
     ctl.inject_agent_failure(vms[1]);
     let err = ctl.signal(&mut w.pool).unwrap_err();
-    assert!(matches!(err, SymVirtError::AgentDisconnected(vm) if vm == vms[1]));
+    assert!(matches!(&err, SymVirtError::AgentsDisconnected(v) if v == &vec![vms[1]]));
     // Guests are still safely frozen...
     for &vm in &vms {
         assert_eq!(w.pool.get(vm).state, ninja_vmm::VmState::SymWait);
