@@ -10,10 +10,11 @@
 //! ninja evacuate   [--vms N] [--concurrency C] [--seed S] [--json]
 //! ninja fleet      [--jobs J] [--vms-per-job V] [--concurrency C]
 //!                  [--arrival SECS] [--deadline SECS] [--uplink-gbps G]
-//!                  [--scenario evacuation|drain|rebalance|failover] [--seed S] [--json]
+//!                  [--scenario evacuation|drain|rebalance|failover]
+//!                  [--engine event|reference] [--seed S] [--json]
 //! ninja faults     [--jobs J] [--vms-per-job V] [--fault SPEC]...
 //!                  [--fault-seed S] [--max-retries N] [--backoff SECS]
-//!                  [--concurrency C] [--seed S] [--json]
+//!                  [--concurrency C] [--engine event|reference] [--seed S] [--json]
 //! ninja trace summarize FILE
 //! ```
 //!
@@ -36,6 +37,10 @@
 //! p50/p99 blackout, p50/p99 queue wait, drain makespan, wire bytes,
 //! deadline misses. `ninja evacuate` is the same engine at
 //! `--concurrency 1` (the backward-compatible serial drill).
+//! `--engine reference` swaps in the pre-optimization
+//! O(jobs)-per-iteration loop; its output is bit-identical to the
+//! default event-driven engine, so it exists purely for cross-checks
+//! and benchmarking (see the `fleet_scale` bench).
 //!
 //! Telemetry flags (any run command):
 //!
@@ -53,7 +58,7 @@
 //!
 //! Every run is deterministic in `--seed`.
 
-use ninja_fleet::{build, run_fleet, FleetConfig, ScenarioKind, ScenarioSpec};
+use ninja_fleet::{build, run_fleet, run_fleet_reference, FleetConfig, ScenarioKind, ScenarioSpec};
 use ninja_migration::{
     plan_evacuation, CloudScheduler, DrillReport, NinjaOrchestrator, NinjaReport, TriggerReason,
     World,
@@ -88,6 +93,10 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     trace_cap: Option<usize>,
+    /// `fleet`/`faults` engine: the event-driven loop (default) or the
+    /// shipped O(J)-per-iteration reference. Output is bit-identical;
+    /// only host wall-clock differs.
+    reference_engine: bool,
 }
 
 impl Args {
@@ -129,6 +138,7 @@ fn usage() -> ! {
          [--jobs J] [--vms-per-job V] [--concurrency C] [--arrival SECS] [--deadline SECS] \
          [--uplink-gbps G] [--scenario evacuation|drain|rebalance|failover] \
          [--fault SPEC]... [--fault-seed S] [--max-retries N] [--backoff SECS] \
+         [--engine event|reference] \
          [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N]\n\
          \x20      ninja trace summarize FILE"
     );
@@ -160,6 +170,7 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
         trace_out: None,
         metrics_out: None,
         trace_cap: None,
+        reference_engine: false,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> u64 {
@@ -229,6 +240,17 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             }
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--engine" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.as_str() {
+                    "event" => args.reference_engine = false,
+                    "reference" => args.reference_engine = true,
+                    _ => {
+                        eprintln!("--engine must be event or reference");
+                        usage()
+                    }
+                }
             }
             _ => usage(),
         }
@@ -550,7 +572,12 @@ fn main() {
                     .iter_mut()
                     .map(|j| j as &mut dyn GuestCooperative)
                     .collect();
-                run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
+                let run = if args.reference_engine {
+                    run_fleet_reference
+                } else {
+                    run_fleet
+                };
+                run(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
                     eprintln!("fleet run failed: {e}");
                     exit(1)
                 })
@@ -604,7 +631,12 @@ fn main() {
                     .iter_mut()
                     .map(|j| j as &mut dyn GuestCooperative)
                     .collect();
-                run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
+                let run = if args.reference_engine {
+                    run_fleet_reference
+                } else {
+                    run_fleet
+                };
+                run(&mut s.world, &mut jobs, s.scheduler, &cfg).unwrap_or_else(|e| {
                     eprintln!("faults drill failed: {e}");
                     exit(1)
                 })

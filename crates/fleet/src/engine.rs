@@ -15,6 +15,29 @@
 //! flow draining, or a trigger firing. Everything is deterministic per
 //! seed: jobs are stepped in index order and the only randomness is the
 //! world RNG the machines draw hotplug latencies from.
+//!
+//! # Event queues
+//!
+//! Due-machine discovery, the recovery queue, and the next-event search
+//! all run over `BinaryHeap`s keyed `(time, job)`, so one iteration
+//! touches only the jobs that are actually due instead of sweeping the
+//! whole fleet. Two invariants make the heap order reproduce the old
+//! full-sweep order exactly:
+//!
+//! * the world clock only ever jumps to the *minimum* pending wake
+//!   time, so every due machine at the top of an iteration satisfies
+//!   `next_at == world.clock` — min-heap pops at one instant come out
+//!   in ascending job index, the documented tie-break;
+//! * a machine's wake time changes only while it is being stepped, so
+//!   each running job has exactly one live heap entry; entries that
+//!   stopped matching `running[j].next_at` (the job finished or failed
+//!   meanwhile) are discarded lazily on pop.
+//!
+//! The same reasoning keys recovery migrations by `(not_before, job)`,
+//! replacing the sort-every-iteration pending list. The engine's
+//! results are pinned bit-identical to the pre-optimization loop (kept
+//! as [`run_fleet_reference`](crate::run_fleet_reference)) by
+//! `tests/equivalence.rs`; `docs/fleet.md` has the complexity budget.
 
 use crate::admission::{AdmissionController, QueuedJob};
 use crate::slo::{FleetReport, JobFailure, JobOutcome};
@@ -25,6 +48,8 @@ use ninja_net::FairShareLink;
 use ninja_sim::{Bandwidth, SimDuration, SimTime};
 use ninja_symvirt::{GuestCooperative, RetryPolicy};
 use ninja_vmm::QemuMonitor;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Fleet engine tunables.
@@ -100,6 +125,28 @@ struct Running {
     reason: ninja_migration::TriggerReason,
 }
 
+/// Emit a gauge only when its value actually changed since the last
+/// emission. `set_gauge` overwrites a `BTreeMap` entry keyed by name —
+/// pure churn when the value is the same, and at fleet scale the old
+/// per-iteration re-set dominated the metrics cost.
+struct TransitionGauge {
+    name: &'static str,
+    last: Option<f64>,
+}
+
+impl TransitionGauge {
+    fn new(name: &'static str) -> Self {
+        TransitionGauge { name, last: None }
+    }
+
+    fn set(&mut self, world: &mut World, value: f64) {
+        if self.last != Some(value) {
+            world.metrics.set_gauge(self.name, &[], value);
+            self.last = Some(value);
+        }
+    }
+}
+
 /// Drive every scheduled migration to completion. `jobs[i]` is the
 /// application the scheduler's job-`i` triggers move; each job may be
 /// externally triggered at most once per run. A job whose migration
@@ -142,15 +189,26 @@ pub fn run_fleet(
     // How many migrations each job has started — the `mig` coordinate
     // fault specs target (0 = the triggered one, 1 = recovery).
     let mut mig_count = vec![0usize; jobs.len()];
+    // Machine wake queue: one live entry per running job, keyed by its
+    // `next_at`. Entries left behind by a job that finished or failed
+    // are discarded lazily (they no longer match `running[j].next_at`).
+    let mut wake: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
     // Recovery migrations waiting for the world clock to reach the
-    // instant their degraded predecessor finished (causal order).
-    let mut pending_recovery: Vec<(SimTime, QueuedJob)> = Vec::new();
+    // instant their degraded predecessor finished (causal order). At
+    // most one per job, so the heap carries `(not_before, job)` and the
+    // payload lives in a per-job slot.
+    let mut recovery_q: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
+    let mut recovery_slot: Vec<Option<QueuedJob>> = (0..jobs.len()).map(|_| None).collect();
+    let mut queue_depth = TransitionGauge::new("ninja_fleet_queue_depth");
+    let mut inflight = TransitionGauge::new("ninja_fleet_inflight_migrations");
     // Same-instant spin bound: a correct loop makes progress (clock
     // advance, admission, or completion) long before this.
     let mut spins = 0u32;
     let mut last_clock = world.clock;
+    let mut iterations: u64 = 0;
 
     loop {
+        iterations += 1;
         if world.clock > last_clock {
             last_clock = world.clock;
             spins = 0;
@@ -179,12 +237,12 @@ pub fn run_fleet(
                 reason: t.reason,
             });
         }
-        pending_recovery.sort_by_key(|(t, q)| (*t, q.job));
-        while pending_recovery
-            .first()
-            .is_some_and(|(t, _)| *t <= world.clock)
+        while recovery_q
+            .peek()
+            .is_some_and(|&Reverse((t, _))| t <= world.clock)
         {
-            let (_, q) = pending_recovery.remove(0);
+            let Reverse((_, j)) = recovery_q.pop().expect("peeked");
+            let q = recovery_slot[j].take().expect("queued recovery");
             adm.enqueue(q);
         }
         // 2. Admit while slots are free.
@@ -205,20 +263,22 @@ pub fn run_fleet(
                 started_at: world.clock,
                 reason: q.reason,
             });
+            wake.push(Reverse((world.clock, q.job)));
         }
-        world
-            .metrics
-            .set_gauge("ninja_fleet_queue_depth", &[], adm.depth() as f64);
-        world.metrics.set_gauge(
-            "ninja_fleet_inflight_migrations",
-            &[],
-            adm.inflight() as f64,
-        );
+        queue_depth.set(world, adm.depth() as f64);
+        inflight.set(world, adm.inflight() as f64);
 
-        // 3. Step every machine due at this instant (job order for
-        //    determinism). A step may finish a job and free a slot.
+        // 3. Step every machine due at this instant. All due entries
+        //    carry `next_at == world.clock` (the clock only jumps to
+        //    the minimum pending time), so the min-heap yields them in
+        //    job order — the same order as the old full sweep. A step
+        //    may finish a job and free a slot.
         let mut freed_slot = false;
-        for j in 0..jobs.len() {
+        while wake.peek().is_some_and(|&Reverse((t, _))| t <= world.clock) {
+            let Reverse((t, j)) = wake.pop().expect("peeked");
+            if !running[j].as_ref().is_some_and(|r| r.next_at == t) {
+                continue; // stale: the job finished, failed, or moved
+            }
             while running[j]
                 .as_ref()
                 .is_some_and(|r| r.next_at <= world.clock)
@@ -282,36 +342,46 @@ pub fn run_fleet(
                                 "Automatic recovery migrations after degraded jobs",
                             );
                             world.metrics.inc("ninja_recovery_migrations_total", &[], 1);
-                            pending_recovery.push((
-                                finished,
-                                QueuedJob {
-                                    job: j,
-                                    dsts,
-                                    triggered_at: finished,
-                                    reason: TriggerReason::Recovery,
-                                },
-                            ));
+                            recovery_q.push(Reverse((finished, j)));
+                            recovery_slot[j] = Some(QueuedJob {
+                                job: j,
+                                dsts,
+                                triggered_at: finished,
+                                reason: TriggerReason::Recovery,
+                            });
                         }
                         adm.release();
                         freed_slot = true;
                     }
                 }
             }
+            if let Some(r) = running[j].as_ref() {
+                debug_assert!(r.next_at > world.clock, "stepped until not due");
+                wake.push(Reverse((r.next_at, j)));
+            }
         }
         if freed_slot && adm.depth() > 0 {
             continue; // admit into the freed slots at this same instant
         }
 
-        // 4. Jump to the next event.
+        // 4. Jump to the next event. Discard stale wake entries until
+        //    the top one is live; it is then the earliest machine wake
+        //    (every running job keeps exactly one live entry).
+        while let Some(&Reverse((t, j))) = wake.peek() {
+            if running[j].as_ref().is_some_and(|r| r.next_at == t) {
+                break;
+            }
+            wake.pop();
+        }
         let mut t_next = SimTime::MAX;
-        for r in running.iter().flatten() {
-            t_next = t_next.min(r.next_at);
+        if let Some(&Reverse((t, _))) = wake.peek() {
+            t_next = t_next.min(t);
         }
         if let Some(t) = scheduler.next_at() {
             t_next = t_next.min(t);
         }
-        for (t, _) in &pending_recovery {
-            t_next = t_next.min(*t);
+        if let Some(&Reverse((t, _))) = recovery_q.peek() {
+            t_next = t_next.min(t);
         }
         if t_next == SimTime::MAX {
             debug_assert_eq!(adm.depth(), 0, "queued job with nothing running");
@@ -325,6 +395,13 @@ pub fn run_fleet(
     world
         .metrics
         .set_gauge("ninja_fleet_inflight_migrations", &[], 0.0);
+    world.metrics.describe(
+        "ninja_fleet_engine_iterations_total",
+        "Fleet event-loop iterations per run (spin-guard observability)",
+    );
+    world
+        .metrics
+        .inc("ninja_fleet_engine_iterations_total", &[], iterations);
 
     let jobs_done: Vec<JobOutcome> = outcomes.into_iter().flatten().collect();
     let started = first_trigger.unwrap_or(world.clock);

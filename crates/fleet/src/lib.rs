@@ -42,10 +42,12 @@
 
 pub mod admission;
 pub mod engine;
+pub mod reference;
 pub mod scenario;
 pub mod slo;
 
 pub use admission::{AdmissionController, QueuedJob};
 pub use engine::{run_fleet, FleetConfig, FleetError};
-pub use scenario::{build, Scenario, ScenarioKind, ScenarioSpec};
+pub use reference::run_fleet_reference;
+pub use scenario::{build, build_scaled, Scenario, ScenarioKind, ScenarioSpec};
 pub use slo::{percentile, FleetReport, JobFailure, JobOutcome};

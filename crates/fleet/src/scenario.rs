@@ -16,10 +16,10 @@
 //! makespan-vs-concurrency and wire-byte-conservation comparisons
 //! meaningful.
 
-use ninja_cluster::{NodeId, StorageId};
+use ninja_cluster::{DataCenterBuilder, FabricKind, NodeId, NodeSpec, StorageId};
 use ninja_migration::{CloudScheduler, TriggerReason, World};
 use ninja_mpi::MpiRuntime;
-use ninja_sim::SimDuration;
+use ninja_sim::{SimDuration, Trace};
 use ninja_vmm::{VmId, VmSpec};
 
 /// Which Section II-A use case to synthesize.
@@ -92,19 +92,54 @@ pub struct Scenario {
 /// Build `spec`. Panics if `jobs × vms_per_job` exceeds the 8-node
 /// source cluster (callers validate user input first).
 pub fn build(spec: &ScenarioSpec) -> Scenario {
+    check_fit(spec, 8, "the 8-node source cluster");
+    build_in(spec, World::agc(spec.seed))
+}
+
+/// Build `spec` over a synthetic data center with `nodes_per_cluster`
+/// AGC-blade nodes on each side (IB and Ethernet), lifting the paper
+/// testbed's 8-node cap so scalability experiments can run
+/// thousand-job fleets. The trigger/boot logic is byte-for-byte the
+/// one [`build`] uses; tracing is disabled (a 4096-job fleet is ring-
+/// buffer churn, and the scaled worlds exist for throughput
+/// measurement, not span inspection). Panics if the fleet does not fit.
+pub fn build_scaled(spec: &ScenarioSpec, nodes_per_cluster: usize) -> Scenario {
+    check_fit(spec, nodes_per_cluster, "the scaled source cluster");
+    let mut b = DataCenterBuilder::new();
+    let ib = b.add_cluster(
+        "scale-ib",
+        FabricKind::Infiniband,
+        nodes_per_cluster,
+        NodeSpec::agc_blade(),
+    );
+    let eth = b.add_cluster(
+        "scale-eth",
+        FabricKind::Ethernet,
+        nodes_per_cluster,
+        NodeSpec::agc_blade(),
+    );
+    b.shared_storage("vm-images", &[ib, eth]);
+    let mut world = World::from_parts(b.build(), ib, eth, spec.seed);
+    world.trace = Trace::disabled();
+    build_in(spec, world)
+}
+
+fn check_fit(spec: &ScenarioSpec, nodes: usize, what: &str) {
     let total_vms = spec.jobs * spec.vms_per_job;
     assert!(spec.jobs >= 1, "need at least one job");
     assert!(spec.vms_per_job >= 1, "need at least one VM per job");
     assert!(
-        total_vms <= 8,
-        "jobs x vms-per-job = {total_vms} exceeds the 8-node source cluster"
+        total_vms <= nodes,
+        "jobs x vms-per-job = {total_vms} exceeds {what}"
     );
     assert!(
-        spec.kind != ScenarioKind::Failover || 2 * total_vms <= 8,
-        "failover needs spare IB nodes: 2 x jobs x vms-per-job = {} exceeds the 8-node cluster",
+        spec.kind != ScenarioKind::Failover || 2 * total_vms <= nodes,
+        "failover needs spare IB nodes: 2 x jobs x vms-per-job = {} exceeds the {nodes}-node cluster",
         2 * total_vms
     );
-    let mut world = World::agc(spec.seed);
+}
+
+fn build_in(spec: &ScenarioSpec, mut world: World) -> Scenario {
     let on_ib = spec.kind != ScenarioKind::Rebalance;
     let jobs = boot_jobs(&mut world, spec.jobs, spec.vms_per_job, on_ib);
     let mut scheduler = CloudScheduler::new();

@@ -59,17 +59,30 @@ impl CommEnv {
     /// contention from each node's vCPU commitment, NIC share from the
     /// number of co-resident VMs.
     pub fn from_world(pool: &VmPool, dc: &DataCenter) -> Self {
-        let mut vms_per_node: BTreeMap<u32, u32> = BTreeMap::new();
-        for vm in pool.iter() {
-            *vms_per_node.entry(vm.node.0).or_insert(0) += 1;
-        }
+        Self::snapshot(pool, dc, pool.iter().map(|vm| vm.id))
+    }
+
+    /// Snapshot the environment for `vms` only. Identical to
+    /// [`from_world`](Self::from_world) for every VM in the set (the
+    /// per-node resident counts come from the pool's incrementally
+    /// maintained index, not a scan); lookups outside the set read the
+    /// default environment. Use this on per-job paths — a job's
+    /// collectives only ever consult its own VMs, and a full-pool
+    /// snapshot is O(pool) per migration, which at fleet scale turns
+    /// the whole run quadratic.
+    pub fn for_vms(pool: &VmPool, dc: &DataCenter, vms: &[VmId]) -> Self {
+        Self::snapshot(pool, dc, vms.iter().copied())
+    }
+
+    fn snapshot(pool: &VmPool, dc: &DataCenter, vms: impl Iterator<Item = VmId>) -> Self {
         let mut per_vm = BTreeMap::new();
-        for vm in pool.iter() {
+        for id in vms {
+            let vm = pool.get(id);
             per_vm.insert(
                 vm.id.0,
                 VmEnv {
                     cpu_contention: dc.node(vm.node).cpu_contention(),
-                    nic_share: *vms_per_node.get(&vm.node.0).unwrap_or(&1),
+                    nic_share: pool.residents_on(vm.node).max(1),
                     ipoib: dc.fabric_at(vm.node) == ninja_cluster::FabricKind::Infiniband,
                 },
             );

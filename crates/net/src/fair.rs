@@ -18,6 +18,27 @@
 //! is what makes contention *measurable*: a fleet run with concurrency
 //! N moves the same bytes as the serial run, only faster or slower in
 //! wall-clock.
+//!
+//! # Incremental rate assignment
+//!
+//! The max-min assignment depends only on the set of active flows and
+//! their caps, not on how many bytes remain — so it is computed once
+//! per arrival/departure epoch and cached, not once per query. The
+//! water-filling itself runs over a cap-sorted index: each round's
+//! capped set (`cap ≤ share`) is a prefix of the still-unsatisfied
+//! slice, so the whole fill is O(n log n) instead of the old
+//! partition-per-round O(n²) with per-call `BTreeMap` allocation.
+//! Within a round the caps are subtracted from the budget in flow-ID
+//! order, reproducing the old algorithm's floating-point operation
+//! order bit-for-bit. `next_completion()` and `advance_to()` share the
+//! cached rates and the cached earliest-drain instant, so a drain of n
+//! concurrent precopies costs O(n²) total instead of O(n³).
+//!
+//! [`FairShareLink::reference`] builds a link that recomputes the
+//! assignment from scratch on every query with the pre-optimization
+//! algorithm. It exists as the baseline for equivalence tests and the
+//! `fleet_scale` benchmark; both variants produce bit-identical
+//! timelines.
 
 use ninja_sim::{Bandwidth, Bytes, SimTime};
 use std::collections::BTreeMap;
@@ -28,13 +49,13 @@ pub struct FlowId(pub u64);
 
 #[derive(Debug, Clone)]
 struct Flow {
+    /// The flow id (entries are kept in ascending-id order).
+    id: FlowId,
     /// Bytes not yet on the wire (fractional during a partial interval).
     remaining: f64,
     /// Per-flow rate cap in bytes/sec (the sender's CPU bound), already
     /// clamped to the link bandwidth.
     cap: f64,
-    /// When the flow was opened.
-    opened: SimTime,
 }
 
 /// A link whose concurrent flows split bandwidth max-min fairly.
@@ -54,9 +75,29 @@ pub struct FairShareLink {
     bandwidth: Bandwidth,
     now: SimTime,
     next_id: u64,
-    active: BTreeMap<FlowId, Flow>,
+    /// Active flows in ascending-id order (ids are handed out in
+    /// increasing order and drains remove in place, so pushes keep the
+    /// vector sorted).
+    active: Vec<Flow>,
     completed: BTreeMap<FlowId, SimTime>,
+    /// Open instants for every flow ever opened — retained after
+    /// completion so per-flow timing (completion − opened) stays
+    /// computable from the link alone.
+    opened: BTreeMap<FlowId, SimTime>,
     bytes_carried: Bytes,
+    /// Pre-optimization query paths (recompute everything per call).
+    reference: bool,
+    /// Cached per-flow rates, parallel to `active`; valid while no flow
+    /// has arrived or drained since they were filled.
+    rates: Vec<f64>,
+    rates_valid: bool,
+    /// Cached earliest-drain instant; valid until the next mutation
+    /// (arrival, departure, or clock/remaining update).
+    next_cache: Option<SimTime>,
+    /// Scratch: flow positions sorted by (cap, id), reused across fills.
+    by_cap: Vec<usize>,
+    /// Scratch: one water-fill round's capped positions, reused.
+    round: Vec<usize>,
 }
 
 /// Below this many remaining bytes a flow counts as drained (guards the
@@ -70,9 +111,28 @@ impl FairShareLink {
             bandwidth,
             now: SimTime::ZERO,
             next_id: 0,
-            active: BTreeMap::new(),
+            active: Vec::new(),
             completed: BTreeMap::new(),
+            opened: BTreeMap::new(),
             bytes_carried: Bytes::ZERO,
+            reference: false,
+            rates: Vec::new(),
+            rates_valid: false,
+            next_cache: None,
+            by_cap: Vec::new(),
+            round: Vec::new(),
+        }
+    }
+
+    /// A link that answers every query by recomputing the max-min
+    /// assignment from scratch with the pre-optimization partition
+    /// algorithm. Timelines are bit-identical to [`new`](Self::new);
+    /// only the work per query differs. Kept as the baseline for the
+    /// `fleet_scale` benchmark and the water-filling equivalence tests.
+    pub fn reference(bandwidth: Bandwidth) -> Self {
+        FairShareLink {
+            reference: true,
+            ..FairShareLink::new(bandwidth)
         }
     }
 
@@ -107,39 +167,39 @@ impl FairShareLink {
         let id = FlowId(self.next_id);
         self.next_id += 1;
         self.bytes_carried += bytes;
+        self.opened.insert(id, self.now);
         let cap = rate
             .map(|r| r.min(self.bandwidth))
             .unwrap_or(self.bandwidth)
             .bytes_per_sec();
         let size = bytes.as_f64();
         if size <= DRAIN_EPSILON {
-            // Empty transfer: done the instant it starts.
+            // Empty transfer: done the instant it starts. The active set
+            // is untouched, so the cached rates stay valid.
             self.completed.insert(id, self.now);
             return id;
         }
-        self.active.insert(
+        self.active.push(Flow {
             id,
-            Flow {
-                remaining: size,
-                cap,
-                opened: self.now,
-            },
-        );
+            remaining: size,
+            cap,
+        });
+        self.rates_valid = false;
+        self.next_cache = None;
         id
     }
 
-    /// Max-min fair rate for every active flow: flows whose cap is below
-    /// the equal share keep their cap, and the unused capacity is
-    /// redistributed among the rest (water-filling).
-    fn rates(&self) -> BTreeMap<FlowId, f64> {
+    /// Max-min fair rates with the pre-optimization algorithm: repeated
+    /// partition of the unsatisfied set, fresh `BTreeMap` per call.
+    fn rates_reference(&self) -> BTreeMap<FlowId, f64> {
+        let caps: BTreeMap<FlowId, f64> = self.active.iter().map(|f| (f.id, f.cap)).collect();
         let mut rates = BTreeMap::new();
-        let mut unsatisfied: Vec<FlowId> = self.active.keys().copied().collect();
+        let mut unsatisfied: Vec<FlowId> = caps.keys().copied().collect();
         let mut budget = self.bandwidth.bytes_per_sec();
         while !unsatisfied.is_empty() {
             let share = budget / unsatisfied.len() as f64;
-            let (capped, free): (Vec<FlowId>, Vec<FlowId>) = unsatisfied
-                .iter()
-                .partition(|id| self.active[id].cap <= share);
+            let (capped, free): (Vec<FlowId>, Vec<FlowId>) =
+                unsatisfied.iter().partition(|id| caps[id] <= share);
             if capped.is_empty() {
                 for id in free {
                     rates.insert(id, share);
@@ -147,7 +207,7 @@ impl FairShareLink {
                 break;
             }
             for id in capped {
-                let cap = self.active[&id].cap;
+                let cap = caps[&id];
                 rates.insert(id, cap);
                 budget -= cap;
             }
@@ -156,14 +216,110 @@ impl FairShareLink {
         rates
     }
 
-    /// The earliest instant an active flow drains, assuming no further
-    /// arrivals. `None` when the link is idle.
-    pub fn next_completion(&self) -> Option<SimTime> {
-        let rates = self.rates();
+    /// Fill `self.rates` (parallel to `self.active`) with the max-min
+    /// fair assignment by water-filling over a cap-sorted index.
+    ///
+    /// Each round's capped set — flows whose cap is at most the equal
+    /// share of the remaining budget — is exactly a prefix of the
+    /// still-unsatisfied cap-sorted slice, because every flow left over
+    /// from an earlier round has a cap above that round's (never
+    /// larger) share. The prefix is re-sorted by flow id before its
+    /// caps are subtracted from the budget, so the floating-point
+    /// subtraction order matches the old id-ordered partition algorithm
+    /// bit-for-bit. Total cost O(n log n): the sort dominates, and each
+    /// position is visited by exactly one round.
+    fn fill_rates(&mut self) {
+        let n = self.active.len();
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        self.by_cap.clear();
+        self.by_cap.extend(0..n);
+        let active = &self.active;
+        self.by_cap
+            .sort_unstable_by(|&a, &b| active[a].cap.total_cmp(&active[b].cap).then(a.cmp(&b)));
+        let mut budget = self.bandwidth.bytes_per_sec();
+        let mut consumed = 0; // prefix of `by_cap` already rate-assigned
+        while consumed < n {
+            let share = budget / (n - consumed) as f64;
+            let mut end = consumed;
+            while end < n && self.active[self.by_cap[end]].cap <= share {
+                end += 1;
+            }
+            if end == consumed {
+                // Nobody capped below the share: the rest split it.
+                for &i in &self.by_cap[consumed..] {
+                    self.rates[i] = share;
+                }
+                break;
+            }
+            self.round.clear();
+            self.round.extend_from_slice(&self.by_cap[consumed..end]);
+            // Positions ascend with flow ids, so this is id order.
+            self.round.sort_unstable();
+            for &i in &self.round {
+                let cap = self.active[i].cap;
+                self.rates[i] = cap;
+                budget -= cap;
+            }
+            consumed = end;
+        }
+        self.rates_valid = true;
+    }
+
+    fn ensure_rates(&mut self) {
+        if !self.rates_valid {
+            self.fill_rates();
+        }
+    }
+
+    /// The current max-min fair rate of every active flow, in flow-id
+    /// order (bytes/sec). Diagnostic view of the water-filling result;
+    /// empty when the link is idle.
+    pub fn current_rates(&mut self) -> Vec<(FlowId, f64)> {
+        if self.reference {
+            return self.rates_reference().into_iter().collect();
+        }
+        self.ensure_rates();
         self.active
             .iter()
-            .map(|(id, f)| self.now + seconds(f.remaining / rates[id]))
+            .zip(self.rates.iter())
+            .map(|(f, &r)| (f.id, r))
+            .collect()
+    }
+
+    /// The earliest instant an active flow drains, assuming no further
+    /// arrivals, from the cached rate assignment. `None` when idle.
+    fn predict_next(&mut self) -> Option<SimTime> {
+        if self.active.is_empty() {
+            return None;
+        }
+        if self.reference {
+            let rates = self.rates_reference();
+            return self
+                .active
+                .iter()
+                .map(|f| self.now + seconds(f.remaining / rates[&f.id]))
+                .min();
+        }
+        if let Some(t) = self.next_cache {
+            return Some(t);
+        }
+        self.ensure_rates();
+        let next = self
+            .active
+            .iter()
+            .zip(self.rates.iter())
+            .map(|(f, &r)| self.now + seconds(f.remaining / r))
             .min()
+            .expect("active flows");
+        self.next_cache = Some(next);
+        Some(next)
+    }
+
+    /// The earliest instant an active flow drains, assuming no further
+    /// arrivals. `None` when the link is idle.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.predict_next()
     }
 
     /// Advance the link clock to `t`, draining flows event-by-event
@@ -171,31 +327,41 @@ impl FairShareLink {
     /// exact).
     pub fn advance_to(&mut self, t: SimTime) {
         while self.now < t && !self.active.is_empty() {
-            let rates = self.rates();
-            let next_done = self
-                .active
-                .iter()
-                .map(|(id, f)| self.now + seconds(f.remaining / rates[id]))
-                .min()
-                .expect("active flows");
+            let next_done = self.predict_next().expect("active flows");
             let until = next_done.min(t);
             let dt = until.since(self.now).as_secs_f64();
-            for (id, f) in self.active.iter_mut() {
-                f.remaining -= rates[id] * dt;
+            if self.reference {
+                let rates = self.rates_reference();
+                for f in self.active.iter_mut() {
+                    f.remaining -= rates[&f.id] * dt;
+                }
+            } else {
+                for (f, &r) in self.active.iter_mut().zip(self.rates.iter()) {
+                    f.remaining -= r * dt;
+                }
             }
             self.now = until;
-            let drained: Vec<FlowId> = self
-                .active
-                .iter()
-                .filter(|(_, f)| f.remaining <= DRAIN_EPSILON)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in drained {
-                self.active.remove(&id);
-                self.completed.insert(id, self.now);
+            self.next_cache = None;
+            if self.active.iter().any(|f| f.remaining <= DRAIN_EPSILON) {
+                let now = self.now;
+                let completed = &mut self.completed;
+                // In-place retain visits flows in id order, matching the
+                // old drained-id collection order.
+                self.active.retain(|f| {
+                    if f.remaining <= DRAIN_EPSILON {
+                        completed.insert(f.id, now);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.rates_valid = false;
             }
         }
-        self.now = self.now.max(t);
+        if t > self.now {
+            self.now = t;
+            self.next_cache = None;
+        }
     }
 
     /// When `flow` finished, if it has. Completions materialize as the
@@ -204,12 +370,11 @@ impl FairShareLink {
         self.completed.get(&flow).copied()
     }
 
-    /// When `flow` was opened (active flows only; completed flows have
-    /// already reported their timing through [`completion`]).
-    ///
-    /// [`completion`]: FairShareLink::completion
+    /// When `flow` was opened. Retained after the flow completes, so
+    /// post-hoc per-flow timing (completion − opened) is computable
+    /// from the link alone.
     pub fn opened_at(&self, flow: FlowId) -> Option<SimTime> {
-        self.active.get(&flow).map(|f| f.opened)
+        self.opened.get(&flow).copied()
     }
 
     /// Have all of `flows` drained?
@@ -238,7 +403,7 @@ fn seconds(s: f64) -> ninja_sim::SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ninja_sim::SimDuration;
+    use ninja_sim::{SimDuration, SimRng};
 
     fn t(s: f64) -> SimTime {
         SimTime::ZERO + SimDuration::from_secs_f64(s)
@@ -383,5 +548,60 @@ mod tests {
         link.advance_to(t(2.0));
         let d = link.completion(f).unwrap().as_secs_f64();
         assert!((d - gib_secs(1, 8.0)).abs() < 1e-6, "{d}");
+    }
+
+    #[test]
+    fn opened_at_survives_completion() {
+        let mut link = FairShareLink::new(Bandwidth::from_gbps(8.0));
+        let f = link.open(t(1.0), Bytes::from_mib(64), None);
+        assert_eq!(link.opened_at(f), Some(t(1.0)));
+        link.advance_to(t(100.0));
+        assert!(link.completion(f).is_some());
+        assert_eq!(link.opened_at(f), Some(t(1.0)), "retained after drain");
+        // Zero-byte flows report their (instant) open time too.
+        let z = link.open(t(200.0), Bytes::ZERO, None);
+        assert_eq!(link.opened_at(z), Some(t(200.0)));
+    }
+
+    #[test]
+    fn cached_rates_match_reference_water_fill() {
+        // Randomized workloads: the incremental link and the reference
+        // link see the same arrivals and must report bit-identical rate
+        // assignments and completion timelines at every event.
+        let mut rng = SimRng::new(0xfa12_0001);
+        for case in 0..50u64 {
+            let gbps = 1.0 + rng.uniform() * 39.0;
+            let mut fast = FairShareLink::new(Bandwidth::from_gbps(gbps));
+            let mut slow = FairShareLink::reference(Bandwidth::from_gbps(gbps));
+            let n = 2 + (rng.next_u64() % 24) as usize;
+            let mut flows = Vec::new();
+            let mut at = SimTime::ZERO;
+            for _ in 0..n {
+                at += SimDuration::from_secs_f64(rng.uniform() * 3.0);
+                let bytes = Bytes::new(1 + rng.next_u64() % (4 << 30));
+                let cap = if rng.chance(0.7) {
+                    Some(Bandwidth::from_gbps(0.1 + rng.uniform() * gbps))
+                } else {
+                    None
+                };
+                let a = fast.open(at, bytes, cap);
+                let b = slow.open(at, bytes, cap);
+                assert_eq!(a, b);
+                flows.push(a);
+                assert_eq!(fast.current_rates(), slow.current_rates(), "case {case}");
+                assert_eq!(fast.next_completion(), slow.next_completion());
+            }
+            while let Some(next) = fast.next_completion() {
+                assert_eq!(Some(next), slow.next_completion(), "case {case}");
+                fast.advance_to(next);
+                slow.advance_to(next);
+                assert_eq!(fast.current_rates(), slow.current_rates(), "case {case}");
+            }
+            for f in flows {
+                assert_eq!(fast.completion(f), slow.completion(f), "case {case}");
+                assert_eq!(fast.opened_at(f), slow.opened_at(f));
+            }
+            assert_eq!(fast.bytes_carried(), slow.bytes_carried());
+        }
     }
 }

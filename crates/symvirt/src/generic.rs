@@ -82,7 +82,10 @@ impl GuestCooperative for MpiRuntime {
         if self.state() != ninja_mpi::RuntimeState::Active {
             return Err(SymVirtError::Runtime(ninja_mpi::MpiError::NotActive));
         }
-        let env = CommEnv::from_world(pool, dc);
+        // Job-scoped snapshot: quiesce only ever costs collectives over
+        // this runtime's own ranks, and a full-pool `from_world` here
+        // is O(pool) per migration — quadratic across a fleet run.
+        let env = CommEnv::for_vms(pool, dc, self.layout().vms());
         let quiesce = Crcp.quiesce(self, &env, now);
         let conns: usize = self.kind_census().values().sum();
         self.release_network(dc, pool)

@@ -87,6 +87,11 @@ impl Vm {
 #[derive(Debug, Default)]
 pub struct VmPool {
     vms: Vec<Vm>,
+    /// VMs currently placed on each node (keyed by `NodeId.0`),
+    /// maintained at the two points a VM's `node` field is written
+    /// (`create`, `complete_migration`). Destroyed VMs keep counting on
+    /// their last node, exactly as a scan over the pool would.
+    residents: std::collections::BTreeMap<u32, u32>,
 }
 
 impl VmPool {
@@ -125,6 +130,14 @@ impl VmPool {
         self.vms.iter().map(|v| v.id)
     }
 
+    /// How many pool VMs are placed on `node` — the count a full pool
+    /// scan over `vm.node` would produce, maintained incrementally so
+    /// per-job snapshots (e.g. `CommEnv` construction in `ninja-mpi`)
+    /// stay O(job) rather than O(pool).
+    pub fn residents_on(&self, node: NodeId) -> u32 {
+        self.residents.get(&node.0).copied().unwrap_or(0)
+    }
+
     /// Boot a VM on `node` with its disk on `disk`. Fails if the node
     /// cannot hold the VM's memory. A virtio NIC is created with it.
     pub fn create(
@@ -146,6 +159,7 @@ impl VmPool {
             Attachment::Guest { vm: id.0 },
         );
         let memory = GuestMemory::new(spec.memory);
+        *self.residents.entry(node.0).or_insert(0) += 1;
         self.vms.push(Vm {
             id,
             name: name.into(),
@@ -286,6 +300,9 @@ impl VmPool {
             dc.node_mut(src).release_vm(vcpus, mem);
             let ok = dc.node_mut(dst).commit_vm(vcpus, mem);
             debug_assert!(ok, "check_migratable validated capacity");
+            let n = self.residents.get_mut(&src.0).expect("src was resident");
+            *n -= 1;
+            *self.residents.entry(dst.0).or_insert(0) += 1;
         }
         let v = self.get_mut(vm);
         v.node = dst;

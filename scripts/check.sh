@@ -18,4 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo build --benches =="
+# Bench binaries (ninja-bench bins) and the criterion-stub [[bench]]
+# targets, which sit behind the off-by-default `bench` feature.
+cargo build --workspace --benches
+cargo build --workspace --benches --features ninja-bench/bench
+
 echo "all checks passed"
