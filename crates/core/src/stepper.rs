@@ -461,6 +461,8 @@ impl MigrationMachine {
                     per_vm_wire,
                     hotplug_leaked,
                     self.t_start,
+                    self.job,
+                    self.mig,
                 );
                 self.state = State::Done;
                 Ok(StepOutcome::Done(report))
@@ -521,21 +523,29 @@ impl MigrationMachine {
 /// controller skipped on a VM (so every VM shows one complete span per
 /// phase), and update the metrics registry. Shared by the serial
 /// orchestrator and the fleet engine — both funnel through
-/// [`MigrationMachine`].
+/// [`MigrationMachine`]. Every span carries `job`/`mig` labels so the
+/// critical-path analyzer can reassemble each migration's span tree
+/// from a fleet trace.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn record_job_telemetry(
     world: &mut World,
     report: &NinjaReport,
     vms: &[VmId],
     windows: &[(&str, SimTime, SimTime); 5],
-    vm_spans: Vec<Span>,
+    mut vm_spans: Vec<Span>,
     per_vm_wire: Vec<(String, u64)>,
     hotplug_leaked: u64,
     t_start: SimTime,
+    job: usize,
+    mig: usize,
 ) {
+    let job_label = job.to_string();
+    let mig_label = mig.to_string();
     // Job-level phase spans (component "ninja").
     for &(name, start, end) in windows {
-        let mut sb = SpanBuilder::new("ninja", name, start);
+        let mut sb = SpanBuilder::new("ninja", name, start)
+            .label("job", &job_label)
+            .label("mig", &mig_label);
         if name == "migration" {
             sb = sb.label("wire_bytes", report.wire_bytes.to_string());
         }
@@ -543,8 +553,10 @@ pub(crate) fn record_job_telemetry(
     }
     // The whole migration as one envelope span.
     let t_end = windows[4].2;
-    let mut overall =
-        SpanBuilder::new("ninja", "ninja", t_start).label("vms", report.vm_count.to_string());
+    let mut overall = SpanBuilder::new("ninja", "ninja", t_start)
+        .label("job", &job_label)
+        .label("mig", &mig_label)
+        .label("vms", report.vm_count.to_string());
     if let Some(t) = &report.transport_before {
         overall = overall.label("transport_before", t.clone());
     }
@@ -560,6 +572,10 @@ pub(crate) fn record_job_telemetry(
         .iter()
         .filter_map(|s| s.label("vm").map(|v| (s.name.clone(), v.to_string())))
         .collect();
+    for s in &mut vm_spans {
+        s.labels.push(("job".to_string(), job_label.clone()));
+        s.labels.push(("mig".to_string(), mig_label.clone()));
+    }
     world.trace.record_spans(vm_spans);
     for &(name, start, end) in windows {
         for &vm in vms {
@@ -568,6 +584,8 @@ pub(crate) fn record_job_telemetry(
                 world.trace.record_span(
                     SpanBuilder::new("symvirt", name, start)
                         .label("vm", vm_name)
+                        .label("job", &job_label)
+                        .label("mig", &mig_label)
                         .end(end),
                 );
             }

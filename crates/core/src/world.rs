@@ -7,7 +7,7 @@
 
 use ninja_cluster::{ClusterId, DataCenter, NodeId, StorageId};
 use ninja_mpi::{CommEnv, JobLayout, MpiConfig, MpiRuntime};
-use ninja_sim::{MetricsRegistry, SimDuration, SimRng, SimTime, Trace};
+use ninja_sim::{MetricsRegistry, SimDuration, SimRng, SimTime, TimeSeriesRecorder, Trace};
 use ninja_symvirt::FaultPlan;
 use ninja_vmm::{VmId, VmPool, VmSpec};
 
@@ -35,6 +35,10 @@ pub struct World {
     /// phase. Empty by default — an empty plan fires nothing, draws no
     /// randomness, and leaves every run bit-identical.
     pub faults: FaultPlan,
+    /// Optional virtual-time metric scraper. `None` by default — with
+    /// no recorder installed, clock advancement is exactly the old
+    /// `max(clock, t)` and every run stays bit-identical.
+    pub recorder: Option<TimeSeriesRecorder>,
 }
 
 impl World {
@@ -51,6 +55,7 @@ impl World {
             ib_cluster: ib,
             eth_cluster: eth,
             faults: FaultPlan::new(),
+            recorder: None,
         }
     }
 
@@ -75,6 +80,7 @@ impl World {
             ib_cluster: primary,
             eth_cluster: secondary,
             faults: FaultPlan::new(),
+            recorder: None,
         }
     }
 
@@ -85,12 +91,39 @@ impl World {
 
     /// Advance the clock by `d`, never backwards.
     pub fn advance(&mut self, d: SimDuration) {
-        self.clock += d;
+        let t = self.clock + d;
+        self.advance_to(t);
     }
 
-    /// Advance the clock to `t` if it is later than now.
+    /// Advance the clock to `t` if it is later than now. With a
+    /// recorder installed, every scrape instant between the old and
+    /// new clock is snapshotted first (a scrape at virtual time `s`
+    /// sees the registry as of the last event before `s`).
     pub fn advance_to(&mut self, t: SimTime) {
-        self.clock = self.clock.max(t);
+        let t = self.clock.max(t);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.advance_to(t, &mut self.metrics, &mut self.trace);
+        }
+        self.clock = t;
+    }
+
+    /// Installs a time-series recorder, performing its baseline scrape
+    /// at the current clock. Subsequent [`World::advance`] /
+    /// [`World::advance_to`] calls drive the scrapes.
+    pub fn install_recorder(&mut self, mut rec: TimeSeriesRecorder) {
+        rec.start_at(self.clock, &mut self.metrics, &mut self.trace);
+        self.recorder = Some(rec);
+    }
+
+    /// Drains the recorder at end of run: one trailing scrape for the
+    /// terminal registry state, plus (bounded) extra scrapes while
+    /// alerts are still firing so rate/burn rules can resolve.
+    /// Idempotent; a no-op without a recorder.
+    pub fn finish_recorder(&mut self) {
+        if let Some(mut rec) = self.recorder.take() {
+            rec.finish(&mut self.metrics, &mut self.trace);
+            self.recorder = Some(rec);
+        }
     }
 
     /// IB-cluster node `i`.

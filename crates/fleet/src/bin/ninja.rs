@@ -53,17 +53,38 @@
 //! - `--trace-cap N` bounds the in-memory trace ring buffer; dropped
 //!   records are counted in `ninja_trace_dropped_records`.
 //!
+//! Flight-recorder flags (any run command; passing any of them installs
+//! a virtual-time metric scraper, everything off by default so runs
+//! without them stay byte-identical):
+//!
+//! - `--scrape-interval SECS` scrapes the metric registry every SECS of
+//!   simulated time (default 30 when another recorder flag is given).
+//! - `--timeseries-out FILE` writes the scraped series: timestamped
+//!   Prometheus text by default, JSONL when FILE ends in `.jsonl`, CSV
+//!   when it ends in `.csv`.
+//! - `--alerts SPEC` evaluates alert rules at each scrape: `default`
+//!   for the built-in rule set, `@FILE` to load rules from a file, or
+//!   inline rules (see `docs/observability.md` for the grammar).
+//!   Fire/resolve transitions land in the trace, the
+//!   `ninja_alerts_fired_total` / `ninja_alerts_active` series, and the
+//!   fleet SLO report's `alerts` section.
+//!
 //! `ninja trace summarize FILE` reads a previously written Chrome
 //! trace file back and prints a per-(component, span) latency table.
+//! `ninja trace critical-path FILE` reconstructs each migration's span
+//! tree from such a file and attributes its blackout to the Fig. 4
+//! phases, with fleet-wide per-phase p50/p99.
 //!
 //! Every run is deterministic in `--seed`.
 
-use ninja_fleet::{build, run_fleet, run_fleet_reference, FleetConfig, ScenarioKind, ScenarioSpec};
+use ninja_fleet::{
+    build_auto, percentile, run_fleet, run_fleet_reference, FleetConfig, ScenarioKind, ScenarioSpec,
+};
 use ninja_migration::{
     plan_evacuation, CloudScheduler, DrillReport, NinjaOrchestrator, NinjaReport, TriggerReason,
-    World,
+    World, PHASE_NAMES,
 };
-use ninja_sim::{Bandwidth, Json, SimDuration, ToJson};
+use ninja_sim::{AlertEngine, Bandwidth, Json, SimDuration, TimeSeriesRecorder, ToJson};
 use ninja_symvirt::{FaultPlan, FaultSpec, GuestCooperative, RetryPolicy};
 use ninja_vmm::SnapshotStore;
 use std::process::exit;
@@ -93,6 +114,13 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     trace_cap: Option<usize>,
+    /// Virtual-time scrape interval in seconds; `None` leaves the
+    /// flight recorder uninstalled unless another recorder flag asks
+    /// for it (then 30 s is the default).
+    scrape_interval: Option<f64>,
+    timeseries_out: Option<String>,
+    /// Alert rules: `default`, `@FILE`, or inline rule text.
+    alerts: Option<String>,
     /// `fleet`/`faults` engine: the event-driven loop (default) or the
     /// shipped O(J)-per-iteration reference. Output is bit-identical;
     /// only host wall-clock differs.
@@ -129,6 +157,35 @@ impl Args {
             FaultPlan::new()
         }
     }
+
+    /// The flight recorder the flags describe, or `None` when no
+    /// recorder flag was passed (runs stay byte-identical then).
+    fn build_recorder(&self) -> Option<TimeSeriesRecorder> {
+        if self.scrape_interval.is_none() && self.timeseries_out.is_none() && self.alerts.is_none()
+        {
+            return None;
+        }
+        let interval = SimDuration::from_secs_f64(self.scrape_interval.unwrap_or(30.0));
+        let mut rec = TimeSeriesRecorder::new(interval);
+        if let Some(spec) = &self.alerts {
+            let text = if spec == "default" {
+                ninja_sim::alerts::default_rules().to_string()
+            } else if let Some(path) = spec.strip_prefix('@') {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("--alerts: could not read {path}: {e}");
+                    exit(2)
+                })
+            } else {
+                spec.clone()
+            };
+            let rules = ninja_sim::alerts::parse_rules(&text).unwrap_or_else(|e| {
+                eprintln!("--alerts: {e}");
+                exit(2)
+            });
+            rec = rec.with_alerts(AlertEngine::new(rules));
+        }
+        Some(rec)
+    }
 }
 
 fn usage() -> ! {
@@ -139,8 +196,9 @@ fn usage() -> ! {
          [--uplink-gbps G] [--scenario evacuation|drain|rebalance|failover] \
          [--fault SPEC]... [--fault-seed S] [--max-retries N] [--backoff SECS] \
          [--engine event|reference] \
-         [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N]\n\
-         \x20      ninja trace summarize FILE"
+         [--json] [--trace] [--trace-out FILE] [--metrics-out FILE] [--trace-cap N] \
+         [--scrape-interval SECS] [--timeseries-out FILE] [--alerts default|@FILE|RULES]\n\
+         \x20      ninja trace <summarize|critical-path> FILE"
     );
     exit(2)
 }
@@ -170,6 +228,9 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
         trace_out: None,
         metrics_out: None,
         trace_cap: None,
+        scrape_interval: None,
+        timeseries_out: None,
+        alerts: None,
         reference_engine: false,
     };
     while let Some(flag) = it.next() {
@@ -241,6 +302,23 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().unwrap_or_else(|| usage()));
             }
+            "--scrape-interval" => {
+                args.scrape_interval = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--scrape-interval needs a positive number of seconds");
+                            usage()
+                        }),
+                );
+            }
+            "--timeseries-out" => {
+                args.timeseries_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--alerts" => {
+                args.alerts = Some(it.next().unwrap_or_else(|| usage()));
+            }
             "--engine" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 match v.as_str() {
@@ -259,15 +337,8 @@ fn parse(mut it: impl Iterator<Item = String>) -> Args {
         eprintln!("--vms must be 1..=8 and --procs 1..=8 (AGC testbed limits)");
         exit(2);
     }
-    if args.jobs == 0
-        || args.vms_per_job == 0
-        || args.jobs * args.vms_per_job > 8
-        || args.concurrency == 0
-    {
-        eprintln!(
-            "--jobs x --vms-per-job must be 1..=8 (one HCA per AGC node) \
-             and --concurrency at least 1"
-        );
+    if args.jobs == 0 || args.vms_per_job == 0 || args.concurrency == 0 {
+        eprintln!("--jobs, --vms-per-job and --concurrency must all be at least 1");
         exit(2);
     }
     args
@@ -291,27 +362,41 @@ fn write_file(what: &str, path: &str, contents: String) {
     }
 }
 
-/// `ninja trace summarize FILE` — read a Chrome trace file back and
-/// print per-(component, span) duration statistics for its complete
-/// ("X") events.
+/// `ninja trace <summarize|critical-path> FILE` — read a Chrome trace
+/// file back and print either per-(component, span) duration statistics
+/// or the per-migration blackout attribution. An empty or span-free
+/// file prints the table header and exits 0.
 fn trace_cmd(mut argv: impl Iterator<Item = String>) {
-    match argv.next().as_deref() {
-        Some("summarize") => {}
-        _ => usage(),
+    let sub = argv.next().unwrap_or_else(|| usage());
+    if sub != "summarize" && sub != "critical-path" {
+        usage()
     }
     let path = argv.next().unwrap_or_else(|| usage());
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("could not read {path}: {e}");
         exit(1)
     });
-    let json = ninja_sim::parse(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: not valid JSON: {e}");
-        exit(1)
-    });
-    let events = json["traceEvents"].as_array().unwrap_or_else(|| {
-        eprintln!("{path}: no traceEvents array (is this a Chrome trace file?)");
-        exit(1)
-    });
+    // An empty file is an empty trace, not an error: runs that record
+    // nothing still compose with shell pipelines.
+    let json = if text.trim().is_empty() {
+        Json::obj::<&str>(vec![])
+    } else {
+        ninja_sim::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e}");
+            exit(1)
+        })
+    };
+    match sub.as_str() {
+        "summarize" => summarize_trace(&json),
+        _ => critical_path_cmd(&json),
+    }
+}
+
+/// Per-(component, span) duration statistics for a trace document's
+/// complete ("X") events. Rows sort by (component, span),
+/// lexicographically — the pinned, deterministic order.
+fn summarize_trace(json: &Json) {
+    let events = json["traceEvents"].as_array().unwrap_or(&[]);
     // (component, span) -> (count, total, min, max), durations in
     // seconds (Chrome events carry microseconds).
     let mut groups: std::collections::BTreeMap<(String, String), (u64, f64, f64, f64)> =
@@ -354,6 +439,73 @@ fn trace_cmd(mut argv: impl Iterator<Item = String>) {
     }
 }
 
+/// Per-migration blackout attribution: one row per `("ninja","ninja")`
+/// envelope span, then a fleet-wide per-phase p50/p99 breakdown.
+fn critical_path_cmd(json: &Json) {
+    let spans = ninja_sim::spans_from_chrome(json);
+    let paths = ninja_sim::critical_paths(&spans, &PHASE_NAMES);
+    println!(
+        "{:>4} {:>4} {:>10} {:>11} {:>9} {:<13} {:<14} {:>9}",
+        "job", "mig", "start_s", "blackout_s", "cover%", "dominant", "critical_vm", "crit_s"
+    );
+    for p in &paths {
+        let crit = p
+            .phases
+            .iter()
+            .find(|ph| ph.phase == p.dominant)
+            .and_then(|ph| {
+                ph.critical_vm
+                    .as_deref()
+                    .map(|vm| (vm, ph.critical_vm_seconds))
+            });
+        println!(
+            "{:>4} {:>4} {:>10.1} {:>11.3} {:>9.2} {:<13} {:<14} {:>9.3}",
+            p.job.map_or("-".into(), |j| j.to_string()),
+            p.mig.map_or("-".into(), |m| m.to_string()),
+            p.start.as_secs_f64(),
+            p.blackout_s,
+            100.0 * p.coverage(),
+            p.dominant,
+            crit.map_or("-", |(vm, _)| vm),
+            crit.map_or(0.0, |(_, s)| s),
+        );
+    }
+    if paths.is_empty() {
+        return;
+    }
+    let total_blackout: f64 = paths.iter().map(|p| p.blackout_s).sum();
+    println!(
+        "\n{} migration(s), {:.3}s total blackout — per-phase breakdown:",
+        paths.len(),
+        total_blackout
+    );
+    println!(
+        "{:<13} {:>10} {:>10} {:>8}",
+        "phase", "p50_s", "p99_s", "share%"
+    );
+    for name in PHASE_NAMES {
+        let samples: Vec<f64> = paths
+            .iter()
+            .flat_map(|p| p.phases.iter())
+            .filter(|ph| ph.phase == name)
+            .map(|ph| ph.seconds)
+            .collect();
+        let sum: f64 = samples.iter().sum();
+        let share = if total_blackout > 0.0 {
+            100.0 * sum / total_blackout
+        } else {
+            0.0
+        };
+        println!(
+            "{:<13} {:>10.3} {:>10.3} {:>8.2}",
+            name,
+            percentile(&samples, 50.0),
+            percentile(&samples, 99.0),
+            share
+        );
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next().unwrap_or_else(|| usage());
@@ -368,6 +520,9 @@ fn main() {
     // what untargeted `--fault` specs hit. The empty plan (no fault
     // flags) fires nothing and leaves every run bit-identical.
     world.faults = args.fault_plan(1);
+    if let Some(rec) = args.build_recorder() {
+        world.install_recorder(rec);
+    }
     let orch = NinjaOrchestrator::default().with_retry(args.retry_policy());
     match cmd.as_str() {
         // `migrate` is the telemetry-first entry point: one Ninja
@@ -545,10 +700,6 @@ fn main() {
         }
         "fleet" => {
             let kind = ScenarioKind::parse(&args.scenario).unwrap_or_else(|| usage());
-            if kind == ScenarioKind::Failover && 2 * args.jobs * args.vms_per_job > 8 {
-                eprintln!("failover needs spare IB nodes: 2 x --jobs x --vms-per-job must be <= 8");
-                exit(2);
-            }
             let spec = ScenarioSpec {
                 kind,
                 jobs: args.jobs,
@@ -556,9 +707,14 @@ fn main() {
                 arrival: SimDuration::from_secs(args.arrival),
                 seed: args.seed,
             };
-            let mut s = build(&spec);
+            // Fleets beyond the 8-node paper testbed run on a synthetic
+            // cluster sized to fit (tracing stays on for the recorder).
+            let mut s = build_auto(&spec);
             s.world.trace.set_capacity(args.trace_cap);
             s.world.faults = args.fault_plan(args.jobs);
+            if let Some(rec) = args.build_recorder() {
+                s.world.install_recorder(rec);
+            }
             let cfg = FleetConfig {
                 concurrency: args.concurrency,
                 deadline: args.deadline.map(SimDuration::from_secs),
@@ -597,10 +753,6 @@ fn main() {
             // an injected fault plan. Defaults to 2 jobs so the spare
             // half of the 8-node cluster can absorb them.
             let jobs = if args.jobs_set { args.jobs } else { 2 };
-            if 2 * jobs * args.vms_per_job > 8 {
-                eprintln!("faults drill: 2 x --jobs x --vms-per-job must be <= 8 (spare IB nodes)");
-                exit(2);
-            }
             let spec = ScenarioSpec {
                 kind: ScenarioKind::Failover,
                 jobs,
@@ -608,7 +760,7 @@ fn main() {
                 arrival: SimDuration::from_secs(args.arrival),
                 seed: args.seed,
             };
-            let mut s = build(&spec);
+            let mut s = build_auto(&spec);
             s.world.trace.set_capacity(args.trace_cap);
             // Explicit --fault specs win; otherwise draw a random plan
             // from --fault-seed (default: the world seed).
@@ -617,6 +769,9 @@ fn main() {
             } else {
                 args.fault_plan(jobs)
             };
+            if let Some(rec) = args.build_recorder() {
+                s.world.install_recorder(rec);
+            }
             eprintln!("fault plan: {:?}", s.world.faults.specs());
             let cfg = FleetConfig {
                 concurrency: args.concurrency,
@@ -671,6 +826,9 @@ fn main() {
         }
         _ => usage(),
     }
+    // Idempotent: the fleet engines have already drained their
+    // recorder; this covers the single-job commands.
+    world.finish_recorder();
     if let Some(path) = &args.trace_out {
         write_file("Chrome trace", path, world.trace.to_chrome_json());
     }
@@ -685,6 +843,20 @@ fn main() {
             );
         } else {
             write_file("Prometheus metrics", path, world.metrics.to_prometheus());
+        }
+    }
+    if let Some(path) = &args.timeseries_out {
+        if let Some(rec) = &world.recorder {
+            // Timestamped Prometheus text by default; the extension
+            // selects the JSONL or CSV form.
+            let contents = if path.ends_with(".jsonl") {
+                rec.to_jsonl()
+            } else if path.ends_with(".csv") {
+                rec.to_csv()
+            } else {
+                rec.to_prometheus()
+            };
+            write_file("time series", path, contents);
         }
     }
 }

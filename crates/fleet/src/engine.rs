@@ -315,6 +315,22 @@ pub fn run_fleet(
                         let finished = r.machine.now();
                         let turnaround = finished.since(r.triggered_at);
                         let degraded = report.degraded;
+                        let missed = cfg.deadline.is_some_and(|d| turnaround > d);
+                        if world.recorder.is_some() {
+                            // Recorder-gated so runs without a flight
+                            // recorder stay byte-identical: burn-rate
+                            // alert rules need the series to exist (at
+                            // 0) from the first miss-free scrape on.
+                            world.metrics.describe(
+                                "ninja_fleet_deadline_misses_total",
+                                "Jobs whose trigger-to-resume turnaround exceeded the deadline",
+                            );
+                            world.metrics.inc(
+                                "ninja_fleet_deadline_misses_total",
+                                &[],
+                                missed as u64,
+                            );
+                        }
                         outcomes[j].push(JobOutcome {
                             job: j,
                             reason: r.reason,
@@ -322,7 +338,7 @@ pub fn run_fleet(
                             started_at: r.started_at.as_secs_f64(),
                             queue_wait_s: r.started_at.since(r.triggered_at).as_secs_f64(),
                             finished_at: finished.as_secs_f64(),
-                            deadline_missed: cfg.deadline.is_some_and(|d| turnaround > d),
+                            deadline_missed: missed,
                             report,
                         });
                         if degraded && r.reason != TriggerReason::Recovery {
@@ -387,14 +403,22 @@ pub fn run_fleet(
             debug_assert_eq!(adm.depth(), 0, "queued job with nothing running");
             break;
         }
+        // With a flight recorder installed, pending scrapes are heap
+        // events too: cap the jump at the next scrape instant so the
+        // clock lands exactly on it. Scrapes never keep the loop alive
+        // (the MAX-break above already ran), and `next_due` is always
+        // strictly ahead of the clock, so progress is preserved.
+        if let Some(rec) = world.recorder.as_ref() {
+            t_next = t_next.min(rec.next_due());
+        }
         world.advance_to(t_next);
         link.advance_to(world.clock);
     }
 
-    world.metrics.set_gauge("ninja_fleet_queue_depth", &[], 0.0);
-    world
-        .metrics
-        .set_gauge("ninja_fleet_inflight_migrations", &[], 0.0);
+    // Terminal transition: both gauges return to zero at drain, and the
+    // transition wrappers record it exactly once.
+    queue_depth.set(world, 0.0);
+    inflight.set(world, 0.0);
     world.metrics.describe(
         "ninja_fleet_engine_iterations_total",
         "Fleet event-loop iterations per run (spin-guard observability)",
@@ -402,6 +426,15 @@ pub fn run_fleet(
     world
         .metrics
         .inc("ninja_fleet_engine_iterations_total", &[], iterations);
+    // Flush the recorder after the terminal gauge values so the final
+    // scrape(s) see the drained fleet and active alerts can resolve.
+    world.finish_recorder();
+    let alerts = world
+        .recorder
+        .as_ref()
+        .and_then(|r| r.alerts())
+        .map(|a| a.incidents().to_vec())
+        .unwrap_or_default();
 
     let jobs_done: Vec<JobOutcome> = outcomes.into_iter().flatten().collect();
     let started = first_trigger.unwrap_or(world.clock);
@@ -417,5 +450,6 @@ pub fn run_fleet(
         peak_queue_depth: adm.peak_depth(),
         deadline_s: cfg.deadline.map(|d| d.as_secs_f64()),
         failures,
+        alerts,
     })
 }

@@ -179,6 +179,19 @@ pub fn run_fleet_reference(
                         let finished = r.machine.now();
                         let turnaround = finished.since(r.triggered_at);
                         let degraded = report.degraded;
+                        let missed = cfg.deadline.is_some_and(|d| turnaround > d);
+                        if world.recorder.is_some() {
+                            // Recorder-gated, mirroring `run_fleet`.
+                            world.metrics.describe(
+                                "ninja_fleet_deadline_misses_total",
+                                "Jobs whose trigger-to-resume turnaround exceeded the deadline",
+                            );
+                            world.metrics.inc(
+                                "ninja_fleet_deadline_misses_total",
+                                &[],
+                                missed as u64,
+                            );
+                        }
                         outcomes[j].push(JobOutcome {
                             job: j,
                             reason: r.reason,
@@ -186,7 +199,7 @@ pub fn run_fleet_reference(
                             started_at: r.started_at.as_secs_f64(),
                             queue_wait_s: r.started_at.since(r.triggered_at).as_secs_f64(),
                             finished_at: finished.as_secs_f64(),
-                            deadline_missed: cfg.deadline.is_some_and(|d| turnaround > d),
+                            deadline_missed: missed,
                             report,
                         });
                         if degraded && r.reason != TriggerReason::Recovery {
@@ -235,6 +248,11 @@ pub fn run_fleet_reference(
             debug_assert_eq!(adm.depth(), 0, "queued job with nothing running");
             break;
         }
+        // Mirror `run_fleet`: pending scrapes cap the jump so both
+        // engines land on identical scrape instants.
+        if let Some(rec) = world.recorder.as_ref() {
+            t_next = t_next.min(rec.next_due());
+        }
         world.advance_to(t_next);
         link.advance_to(world.clock);
     }
@@ -250,6 +268,13 @@ pub fn run_fleet_reference(
     world
         .metrics
         .inc("ninja_fleet_engine_iterations_total", &[], iterations);
+    world.finish_recorder();
+    let alerts = world
+        .recorder
+        .as_ref()
+        .and_then(|r| r.alerts())
+        .map(|a| a.incidents().to_vec())
+        .unwrap_or_default();
 
     let jobs_done: Vec<JobOutcome> = outcomes.into_iter().flatten().collect();
     let started = first_trigger.unwrap_or(world.clock);
@@ -265,5 +290,6 @@ pub fn run_fleet_reference(
         peak_queue_depth: adm.peak_depth(),
         deadline_s: cfg.deadline.map(|d| d.as_secs_f64()),
         failures,
+        alerts,
     })
 }

@@ -104,6 +104,18 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
 /// buffer churn, and the scaled worlds exist for throughput
 /// measurement, not span inspection). Panics if the fleet does not fit.
 pub fn build_scaled(spec: &ScenarioSpec, nodes_per_cluster: usize) -> Scenario {
+    build_scaled_inner(spec, nodes_per_cluster, false)
+}
+
+/// [`build_scaled`] with tracing left on: the flight-recorder path
+/// (`ninja fleet --jobs 64 ...` with `--trace-out` / `--alerts`) needs
+/// the spans for critical-path attribution even on fleets too big for
+/// the paper testbed.
+pub fn build_scaled_traced(spec: &ScenarioSpec, nodes_per_cluster: usize) -> Scenario {
+    build_scaled_inner(spec, nodes_per_cluster, true)
+}
+
+fn build_scaled_inner(spec: &ScenarioSpec, nodes_per_cluster: usize, traced: bool) -> Scenario {
     check_fit(spec, nodes_per_cluster, "the scaled source cluster");
     let mut b = DataCenterBuilder::new();
     let ib = b.add_cluster(
@@ -120,8 +132,31 @@ pub fn build_scaled(spec: &ScenarioSpec, nodes_per_cluster: usize) -> Scenario {
     );
     b.shared_storage("vm-images", &[ib, eth]);
     let mut world = World::from_parts(b.build(), ib, eth, spec.seed);
-    world.trace = Trace::disabled();
+    if !traced {
+        // A 4096-job fleet is ring-buffer churn; the throughput-
+        // measurement worlds skip span inspection entirely.
+        world.trace = Trace::disabled();
+    }
     build_in(spec, world)
+}
+
+/// Build `spec` on the paper's 8-node AGC testbed when it fits, or on
+/// a synthetic cluster sized exactly to the fleet when it doesn't.
+/// Fleets that fit the testbed build byte-identically to [`build`];
+/// larger ones keep tracing enabled (unlike [`build_scaled`]) so the
+/// flight recorder still sees their spans.
+pub fn build_auto(spec: &ScenarioSpec) -> Scenario {
+    let total = spec.jobs * spec.vms_per_job;
+    let need = if spec.kind == ScenarioKind::Failover {
+        2 * total
+    } else {
+        total
+    };
+    if need <= 8 {
+        build(spec)
+    } else {
+        build_scaled_traced(spec, need)
+    }
 }
 
 fn check_fit(spec: &ScenarioSpec, nodes: usize, what: &str) {
@@ -340,6 +375,31 @@ mod tests {
             dsts_seen.extend(t.dsts);
         }
         assert_eq!(dsts_seen, spare, "straight across onto the spare half");
+    }
+
+    #[test]
+    fn build_auto_scales_past_the_testbed_with_tracing_on() {
+        let small = build_auto(&spec(ScenarioKind::Evacuation));
+        assert!(small.world.trace.is_enabled());
+        assert_eq!(small.jobs.len(), 4);
+        let big = build_auto(&ScenarioSpec {
+            jobs: 16,
+            vms_per_job: 1,
+            ..spec(ScenarioKind::Evacuation)
+        });
+        assert_eq!(big.jobs.len(), 16);
+        assert!(
+            big.world.trace.is_enabled(),
+            "auto-scaled worlds keep their spans for the flight recorder"
+        );
+        let failover = build_auto(&ScenarioSpec {
+            kind: ScenarioKind::Failover,
+            jobs: 8,
+            vms_per_job: 1,
+            arrival: SimDuration::from_secs(30),
+            seed: 7,
+        });
+        assert_eq!(failover.jobs.len(), 8, "failover doubles the node need");
     }
 
     #[test]

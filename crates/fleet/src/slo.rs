@@ -8,7 +8,7 @@
 //! accounting, with JSON/CSV exports matching the rest of the repo.
 
 use ninja_migration::{NinjaReport, TriggerReason};
-use ninja_sim::{Json, ToJson};
+use ninja_sim::{AlertIncident, Json, ToJson};
 use std::fmt;
 
 /// One job's journey through the fleet engine.
@@ -117,6 +117,10 @@ pub struct FleetReport {
     /// Jobs whose migration failed mid-flight (fault injection with
     /// retries exhausted). Empty on every fault-free run.
     pub failures: Vec<JobFailure>,
+    /// Alert incidents the run's flight recorder raised, in firing
+    /// order. Always empty when no recorder/alert rules were installed,
+    /// so default runs serialize bit-identically to older builds.
+    pub alerts: Vec<AlertIncident>,
 }
 
 /// Nearest-rank percentile (the convention SLO dashboards use): the
@@ -264,6 +268,9 @@ impl ToJson for FleetReport {
         if !self.failures.is_empty() {
             fields.push(("failures", self.failures.to_json()));
         }
+        if !self.alerts.is_empty() {
+            fields.push(("alerts", self.alerts.to_json()));
+        }
         fields.push(("outcomes", self.jobs.to_json()));
         Json::obj(fields)
     }
@@ -316,6 +323,18 @@ impl fmt::Display for FleetReport {
         if !self.failures.is_empty() {
             for fail in &self.failures {
                 write!(f, "\n  FAILED job {} : {}", fail.job, fail.error)?;
+            }
+        }
+        for a in &self.alerts {
+            write!(
+                f,
+                "\n  ALERT {} fired {:.1}s",
+                a.rule,
+                a.fired_at.as_secs_f64()
+            )?;
+            match a.resolved_at {
+                Some(t) => write!(f, ", resolved {:.1}s", t.as_secs_f64())?,
+                None => write!(f, ", unresolved at end of run")?,
             }
         }
         Ok(())
@@ -421,6 +440,7 @@ mod tests {
             peak_queue_depth: 3,
             deadline_s: Some(120.0),
             failures: Vec::new(),
+            alerts: Vec::new(),
         };
         assert_eq!(r.deadline_misses(), 1, "the 150 s wait missed");
         assert_eq!(r.total_wire_bytes(), 4 * (1u64 << 30));
@@ -440,6 +460,44 @@ mod tests {
         assert!(j.to_string().find("degraded").is_none());
         assert!(!shown.contains("degraded"));
         assert!(csv.lines().next().unwrap().ends_with(",degraded"));
+        // No recorder: no alerts key or section either.
+        assert!(!j.to_string().contains("\"alerts\""));
+        assert!(!shown.contains("ALERT"));
+    }
+
+    #[test]
+    fn alert_incidents_serialize_and_display() {
+        use ninja_sim::SimTime;
+        let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        let r = FleetReport {
+            jobs: vec![outcome(0, 0.0, 40)],
+            makespan_s: 50.0,
+            concurrency: 1,
+            peak_queue_depth: 1,
+            deadline_s: None,
+            failures: Vec::new(),
+            alerts: vec![
+                AlertIncident {
+                    rule: "queue-backlog".into(),
+                    fired_at: at(40),
+                    resolved_at: Some(at(130)),
+                },
+                AlertIncident {
+                    rule: "retry-burn".into(),
+                    fired_at: at(60),
+                    resolved_at: None,
+                },
+            ],
+        };
+        let j = r.to_json();
+        let alerts = j["alerts"].as_array().unwrap();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0]["rule"].as_str(), Some("queue-backlog"));
+        assert_eq!(alerts[0]["resolved_at"].as_f64(), Some(130.0));
+        assert!(alerts[1]["resolved_at"].is_null());
+        let shown = r.to_string();
+        assert!(shown.contains("ALERT queue-backlog fired 40.0s, resolved 130.0s"));
+        assert!(shown.contains("ALERT retry-burn fired 60.0s, unresolved at end of run"));
     }
 
     #[test]
@@ -460,6 +518,7 @@ mod tests {
                 error: "QMP command 'detach' timed out".into(),
                 failed_at: 33.0,
             }],
+            alerts: Vec::new(),
         };
         assert_eq!(r.degraded_jobs(), 1);
         assert_eq!(r.recovery_migrations(), 1);

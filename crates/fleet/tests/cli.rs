@@ -335,11 +335,258 @@ fn evacuate_reports_queue_wait() {
 
 #[test]
 fn bad_fleet_flags_exit_nonzero() {
-    let out = ninja().args(["fleet", "--jobs", "9"]).output().unwrap();
-    assert!(!out.status.success(), "9 jobs exceed the source cluster");
+    let out = ninja().args(["fleet", "--jobs", "0"]).output().unwrap();
+    assert!(!out.status.success(), "a zero-job fleet is an error");
     let out = ninja()
         .args(["fleet", "--scenario", "bogus"])
         .output()
         .unwrap();
     assert!(!out.status.success());
+    let out = ninja()
+        .args(["fleet", "--scrape-interval", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "scrape interval must be positive");
+    let out = ninja()
+        .args(["fleet", "--alerts", "bogus rule !!"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad alert grammar exits 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("alert rule"));
+}
+
+#[test]
+fn fleet_scales_past_the_source_testbed() {
+    // Over 8 VMs the CLI transparently builds a scaled cluster (with
+    // tracing kept on) instead of rejecting the job count.
+    let out = ninja()
+        .args(["fleet", "--jobs", "9", "--concurrency", "3", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["outcomes"].as_array().unwrap().len(), 9);
+}
+
+#[test]
+fn recorder_flags_leave_report_stdout_byte_identical() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ts = dir.join("identity-ts.prom");
+    let base = ["fleet", "--jobs", "4", "--concurrency", "2", "--json"];
+    let plain = ninja().args(base).output().unwrap();
+    let recorded = ninja()
+        .args(base)
+        .args([
+            "--scrape-interval",
+            "30",
+            "--timeseries-out",
+            ts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(plain.status.success() && recorded.status.success());
+    // The flight recorder observes the run; it must not perturb it.
+    assert_eq!(plain.stdout, recorded.stdout, "recorder changed the run");
+    let text = std::fs::read_to_string(&ts).unwrap();
+    assert!(text.contains("# TYPE"), "time series written: {text}");
+}
+
+#[test]
+fn plain_metrics_out_carries_no_recorder_series() {
+    // Without any flight-recorder flag, the recorder-gated series must
+    // not leak into the classic metrics export, even with a deadline.
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("gating-metrics.prom");
+    let out = ninja()
+        .args([
+            "fleet",
+            "--jobs",
+            "6",
+            "--concurrency",
+            "1",
+            "--deadline",
+            "60",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    for absent in [
+        "ninja_alerts_fired_total",
+        "ninja_alerts_active",
+        "ninja_fleet_deadline_misses_total",
+    ] {
+        assert!(!prom.contains(absent), "{absent} leaked without recorder");
+    }
+}
+
+#[test]
+fn timeseries_out_picks_format_from_extension() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (ext, probe) in [("jsonl", "{\"t_ns\":"), ("csv", "t_ns,name,labels,value\n")] {
+        let path = dir.join(format!("fmt-ts.{ext}"));
+        let out = ninja()
+            .args([
+                "fleet",
+                "--jobs",
+                "2",
+                "--scrape-interval",
+                "30",
+                "--timeseries-out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(probe), ".{ext} output: {text}");
+    }
+}
+
+#[test]
+fn fleet_alerts_fire_and_land_in_the_report() {
+    // A 16-job burst through 2 slots builds a >8-deep queue: the
+    // default queue-backlog rule fires, then resolves as it drains.
+    let base = [
+        "fleet",
+        "--jobs",
+        "16",
+        "--concurrency",
+        "2",
+        "--scrape-interval",
+        "30",
+        "--alerts",
+        "default",
+    ];
+    let human = ninja().args(base).output().unwrap();
+    assert!(
+        human.status.success(),
+        "{}",
+        String::from_utf8_lossy(&human.stderr)
+    );
+    let text = String::from_utf8_lossy(&human.stdout);
+    assert!(text.contains("ALERT"), "incidents listed:\n{text}");
+    let json = ninja().args(base).arg("--json").output().unwrap();
+    let v = ninja_sim::parse(&String::from_utf8_lossy(&json.stdout)).unwrap();
+    let alerts = v["alerts"].as_array().expect("alerts array present");
+    assert!(alerts.iter().any(
+        |a| a["rule"].as_str() == Some("queue-backlog") && a["resolved_at"].as_f64().is_some()
+    ));
+}
+
+#[test]
+fn trace_subcommands_accept_an_empty_file() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty-trace.json");
+    std::fs::write(&empty, "").unwrap();
+    for sub in ["summarize", "critical-path"] {
+        let out = ninja()
+            .args(["trace", sub, empty.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "trace {sub} on empty file: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let mut lines = stdout.lines();
+        let header = lines.next().unwrap_or("");
+        assert!(
+            header.contains("component") || header.contains("job"),
+            "trace {sub} prints its header: {stdout}"
+        );
+        assert_eq!(lines.count(), 0, "trace {sub} prints only the header");
+    }
+}
+
+#[test]
+fn trace_summarize_rows_sort_by_component_then_span() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("sorted-trace.json");
+    let out = ninja()
+        .args([
+            "migrate",
+            "--vms",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = ninja()
+        .args(["trace", "summarize", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let keys: Vec<(String, String)> = stdout
+        .lines()
+        .skip(1)
+        .take_while(|l| !l.starts_with('('))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            Some((it.next()?.to_string(), it.next()?.to_string()))
+        })
+        .collect();
+    assert!(keys.len() > 3, "several rows: {stdout}");
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "rows are (component, span)-sorted");
+}
+
+#[test]
+fn trace_critical_path_attributes_fleet_blackout() {
+    let dir = std::env::temp_dir().join("ninja-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("critical-trace.json");
+    let out = ninja()
+        .args([
+            "fleet",
+            "--jobs",
+            "4",
+            "--concurrency",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = ninja()
+        .args(["trace", "critical-path", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dominant"), "{stdout}");
+    let rows: Vec<&str> = stdout
+        .lines()
+        .skip(1)
+        .take_while(|l| !l.is_empty())
+        .collect();
+    assert_eq!(rows.len(), 4, "one row per migration:\n{stdout}");
+    // Every migration's blackout is ≥99% attributed (cover% column).
+    for row in rows {
+        let cover: f64 = row.split_whitespace().nth(4).unwrap().parse().unwrap();
+        assert!(cover >= 99.0, "low coverage row: {row}");
+    }
+    assert!(stdout.contains("per-phase breakdown"), "{stdout}");
+    assert!(stdout.contains("p50_s"), "{stdout}");
 }

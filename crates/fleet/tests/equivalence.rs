@@ -105,6 +105,61 @@ fn engine_matches_reference_across_matrix() {
     }
 }
 
+/// The same gate with the flight recorder installed: scrape deadlines
+/// become heap events in both engines, so bit-identity must extend to
+/// the final registry (including the alert series) and to every
+/// time-series exporter.
+#[test]
+fn engine_matches_reference_with_recorder_installed() {
+    use ninja_sim::{alerts, AlertEngine, TimeSeriesRecorder};
+    let run = |kind: ScenarioKind, fault_seed: Option<u64>, reference: bool| {
+        let spec = spec(kind, 2013);
+        let mut s = build(&spec);
+        if let Some(fs) = fault_seed {
+            s.world.faults = FaultPlan::random(fs, spec.jobs);
+        }
+        s.world.install_recorder(
+            TimeSeriesRecorder::new(SimDuration::from_secs(30)).with_alerts(AlertEngine::new(
+                alerts::parse_rules(alerts::default_rules()).unwrap(),
+            )),
+        );
+        let cfg = FleetConfig {
+            concurrency: 3,
+            deadline: Some(SimDuration::from_secs(60)),
+            ..FleetConfig::default()
+        };
+        let mut jobs: Vec<&mut dyn GuestCooperative> = s
+            .jobs
+            .iter_mut()
+            .map(|j| j as &mut dyn GuestCooperative)
+            .collect();
+        let report = if reference {
+            run_fleet_reference(&mut s.world, &mut jobs, s.scheduler, &cfg)
+        } else {
+            run_fleet(&mut s.world, &mut jobs, s.scheduler, &cfg)
+        }
+        .expect("structural failure");
+        drop(jobs);
+        (s.world, report)
+    };
+    for kind in [ScenarioKind::Evacuation, ScenarioKind::Failover] {
+        for fault_seed in [None, Some(0xfa17)] {
+            let ctx = format!("recorder kind={} faults={fault_seed:?}", kind.name());
+            let new = run(kind, fault_seed, false);
+            let old = run(kind, fault_seed, true);
+            assert_identical(&ctx, &new, &old);
+            let (rec_new, rec_old) = (new.0.recorder.unwrap(), old.0.recorder.unwrap());
+            assert_eq!(
+                rec_new.to_prometheus(),
+                rec_old.to_prometheus(),
+                "{ctx}: time series diverged"
+            );
+            assert_eq!(rec_new.to_jsonl(), rec_old.to_jsonl(), "{ctx}: jsonl");
+            assert_eq!(rec_new.to_csv(), rec_old.to_csv(), "{ctx}: csv");
+        }
+    }
+}
+
 /// Same gate on a scaled world (the shape the `fleet_scale` bench
 /// runs): a 32-node-per-cluster evacuation with a deep admission queue.
 #[test]

@@ -1,0 +1,221 @@
+//! Flight-recorder integration: virtual-time scrapes through both
+//! fleet engines, the alert lifecycle, terminal gauge transitions, and
+//! critical-path blackout attribution from a real fleet trace.
+
+use ninja_fleet::{
+    build_auto, run_fleet, run_fleet_reference, FleetConfig, FleetReport, ScenarioKind,
+    ScenarioSpec,
+};
+use ninja_migration::{World, PHASE_NAMES};
+use ninja_sim::{alerts, AlertEngine, SimDuration, TimeSeriesRecorder, ToJson};
+use ninja_symvirt::{FaultPlan, GuestCooperative};
+
+fn spec(kind: ScenarioKind, jobs: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        kind,
+        jobs,
+        vms_per_job: 1,
+        arrival: SimDuration::from_secs(20),
+        seed,
+    }
+}
+
+/// Build and run one recorded fleet: a 30 s scrape interval, optional
+/// alert rules, optional random fault plan, 60 s deadline.
+fn run_recorded(
+    kind: ScenarioKind,
+    jobs: usize,
+    seed: u64,
+    fault_seed: Option<u64>,
+    rules: Option<&str>,
+    reference: bool,
+) -> (World, FleetReport) {
+    let mut s = build_auto(&spec(kind, jobs, seed));
+    if let Some(fs) = fault_seed {
+        s.world.faults = FaultPlan::random(fs, jobs);
+    }
+    let mut rec = TimeSeriesRecorder::new(SimDuration::from_secs(30));
+    if let Some(text) = rules {
+        rec = rec.with_alerts(AlertEngine::new(alerts::parse_rules(text).unwrap()));
+    }
+    s.world.install_recorder(rec);
+    let cfg = FleetConfig {
+        concurrency: 2,
+        deadline: Some(SimDuration::from_secs(60)),
+        ..FleetConfig::default()
+    };
+    let report = {
+        let mut dyn_jobs: Vec<&mut dyn GuestCooperative> = s
+            .jobs
+            .iter_mut()
+            .map(|j| j as &mut dyn GuestCooperative)
+            .collect();
+        let run = if reference {
+            run_fleet_reference
+        } else {
+            run_fleet
+        };
+        run(&mut s.world, &mut dyn_jobs, s.scheduler, &cfg).unwrap()
+    };
+    (s.world, report)
+}
+
+#[test]
+fn time_series_identical_between_engines() {
+    // The scenario × fault matrix: scrapes are heap events in both
+    // engines, so every exporter's output must match byte for byte.
+    for kind in [ScenarioKind::Evacuation, ScenarioKind::RollingDrain] {
+        for fault in [None, Some(0xfa17)] {
+            for seed in [2013, 7] {
+                let (we, re) =
+                    run_recorded(kind, 6, seed, fault, Some(alerts::default_rules()), false);
+                let (wr, rr) =
+                    run_recorded(kind, 6, seed, fault, Some(alerts::default_rules()), true);
+                let ctx = format!("{kind:?} seed {seed} fault {fault:?}");
+                let (rec_e, rec_r) = (we.recorder.unwrap(), wr.recorder.unwrap());
+                assert_eq!(rec_e.to_prometheus(), rec_r.to_prometheus(), "{ctx}: prom");
+                assert_eq!(rec_e.to_jsonl(), rec_r.to_jsonl(), "{ctx}: jsonl");
+                assert_eq!(rec_e.to_csv(), rec_r.to_csv(), "{ctx}: csv");
+                assert_eq!(
+                    re.to_json().to_string(),
+                    rr.to_json().to_string(),
+                    "{ctx}: report"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scrape_timestamps_are_monotone_and_on_interval() {
+    let (world, _) = run_recorded(ScenarioKind::Evacuation, 6, 2013, None, None, false);
+    let rec = world.recorder.unwrap();
+    let samples = rec.samples();
+    assert!(
+        samples.len() >= 3,
+        "a multi-minute drain scrapes repeatedly"
+    );
+    let mut prev = None;
+    for s in samples {
+        if let Some(p) = prev {
+            assert!(s.at > p, "strictly monotone virtual time");
+            let delta = s.at.since(p).as_nanos();
+            assert_eq!(
+                delta % SimDuration::from_secs(30).as_nanos(),
+                0,
+                "scrapes land exactly on the interval grid"
+            );
+        }
+        prev = Some(s.at);
+    }
+}
+
+#[test]
+fn terminal_gauge_transition_lands_in_the_series_for_both_engines() {
+    // The transition-only gauges must record their return to zero at
+    // drain: the final scrape (driven by `finish_recorder`) sees both
+    // at 0 after having been nonzero mid-run.
+    for reference in [false, true] {
+        let (world, _) = run_recorded(ScenarioKind::Evacuation, 6, 2013, None, None, reference);
+        let rec = world.recorder.unwrap();
+        let value_in = |points: &[ninja_sim::SeriesPoint], name: &str| -> Option<f64> {
+            points.iter().find(|p| p.name == name).map(|p| p.value)
+        };
+        let last = rec.samples().back().unwrap();
+        for gauge in ["ninja_fleet_queue_depth", "ninja_fleet_inflight_migrations"] {
+            assert_eq!(
+                value_in(&last.points, gauge),
+                Some(0.0),
+                "engine ref={reference}: {gauge} ends at zero"
+            );
+            assert!(
+                rec.samples()
+                    .iter()
+                    .any(|s| value_in(&s.points, gauge).is_some_and(|v| v > 0.0)),
+                "engine ref={reference}: {gauge} was nonzero mid-run"
+            );
+        }
+    }
+}
+
+#[test]
+fn burn_alert_fires_and_resolves_under_a_fault_plan() {
+    let (world, report) = run_recorded(
+        ScenarioKind::Failover,
+        4,
+        2013,
+        Some(0xfa17),
+        Some(alerts::default_rules()),
+        false,
+    );
+    assert!(
+        !report.alerts.is_empty(),
+        "default rules fire on this drill"
+    );
+    let burn = report
+        .alerts
+        .iter()
+        .find(|a| a.rule.ends_with("-burn"))
+        .expect("a burn-rate alert fired");
+    assert!(
+        burn.resolved_at.is_some(),
+        "trailing scrapes resolve the burn alert ({})",
+        burn.rule
+    );
+    assert!(burn.resolved_at.unwrap() > burn.fired_at);
+    // The lifecycle shows up as trace instants and alert series too.
+    assert!(world.trace.of_kind("alert.fired").count() >= 1);
+    assert!(world.trace.of_kind("alert.resolved").count() >= 1);
+    let prom = world.metrics.to_prometheus();
+    assert!(prom.contains("ninja_alerts_fired_total"));
+    assert!(prom.contains("ninja_alerts_active"));
+    // Incidents appear in the SLO report JSON, in firing order.
+    let json = report.to_json();
+    let arr = json["alerts"].as_array().unwrap();
+    assert_eq!(arr.len(), report.alerts.len());
+    assert!(arr[0]["rule"].as_str().is_some());
+}
+
+#[test]
+fn report_json_has_no_alerts_key_without_incidents() {
+    let (_, report) = run_recorded(ScenarioKind::Evacuation, 2, 2013, None, None, false);
+    assert!(report.alerts.is_empty());
+    assert!(!report.to_json().to_string().contains("\"alerts\""));
+}
+
+#[test]
+fn critical_paths_attribute_fleet_blackout_from_the_chrome_export() {
+    let (world, report) = run_recorded(
+        ScenarioKind::Evacuation,
+        6,
+        2013,
+        None,
+        Some(alerts::default_rules()),
+        false,
+    );
+    let doc = ninja_sim::parse(&world.trace.to_chrome_json()).unwrap();
+    let spans = ninja_sim::spans_from_chrome(&doc);
+    let paths = ninja_sim::critical_paths(&spans, &PHASE_NAMES);
+    assert_eq!(paths.len(), report.jobs.len(), "one path per migration");
+    for p in &paths {
+        assert!(
+            p.coverage() >= 0.99,
+            "job {:?} mig {:?}: {:.4} of blackout attributed",
+            p.job,
+            p.mig,
+            p.coverage()
+        );
+        assert!(!p.dominant.is_empty());
+        // Only phases present in the span tree are attributed.
+        assert!(!p.phases.is_empty() && p.phases.len() <= PHASE_NAMES.len());
+        // The per-phase critical VM is one of the job's VMs.
+        for ph in &p.phases {
+            if let Some(vm) = &ph.critical_vm {
+                assert!(vm.starts_with("job"), "critical VM {vm} is a fleet VM");
+            }
+        }
+    }
+    // Reconstructed job indices cover the fleet.
+    let jobs: std::collections::BTreeSet<_> = paths.iter().filter_map(|p| p.job).collect();
+    assert_eq!(jobs.len(), 6);
+}

@@ -17,6 +17,9 @@
 //!   time recorded into the trace;
 //! * [`MetricsRegistry`] — labeled counters, gauges and histograms with
 //!   Prometheus text exposition;
+//! * [`TimeSeriesRecorder`] / [`AlertEngine`] — a virtual-time metric
+//!   scraper with timestamped exporters, and declarative
+//!   threshold/rate/burn alert rules evaluated at each scrape;
 //! * [`Json`] / [`export`] — a dependency-free JSON writer/parser used by
 //!   every exporter in the workspace.
 //!
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod engine;
 pub mod export;
 pub mod metrics;
@@ -35,9 +39,11 @@ pub mod rng;
 pub mod span;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 pub mod units;
 
+pub use alerts::{AlertEngine, AlertIncident, AlertRule};
 pub use engine::{Action, Ctx, Engine, EventId, RunOutcome};
 pub use export::{parse, Json, JsonError, ToJson};
 pub use metrics::{HistogramMetric, LabelSet, MetricsRegistry};
@@ -45,5 +51,9 @@ pub use rng::SimRng;
 pub use span::{Span, SpanBuilder};
 pub use stats::{DurationSamples, Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceLevel, TraceRecord};
+pub use timeseries::{ScrapeSample, SeriesPoint, TimeSeriesRecorder};
+pub use trace::{
+    critical_paths, spans_from_chrome, MigrationPath, PhaseAttribution, Trace, TraceLevel,
+    TraceRecord,
+};
 pub use units::{Bandwidth, Bytes};

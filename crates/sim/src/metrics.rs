@@ -187,6 +187,22 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Internal: every counter series, sorted by name then label set
+    /// (the time-series scraper snapshots these in exposition order).
+    pub(crate) fn counters_map(&self) -> &BTreeMap<String, BTreeMap<LabelSet, u64>> {
+        &self.counters
+    }
+
+    /// Internal: every gauge series, sorted.
+    pub(crate) fn gauges_map(&self) -> &BTreeMap<String, BTreeMap<LabelSet, f64>> {
+        &self.gauges
+    }
+
+    /// Internal: every histogram series, sorted.
+    pub(crate) fn histograms_map(&self) -> &BTreeMap<String, BTreeMap<LabelSet, HistogramMetric>> {
+        &self.histograms
+    }
+
     /// Folds another registry into this one: counters add, gauges take
     /// the other's value, histogram summaries merge (bucket counts too
     /// when the layouts match — keep layouts consistent per name).
@@ -358,7 +374,7 @@ fn series_obj(name: &str, labels: &LabelSet, extra: Vec<(&str, Json)>) -> Json {
 
 /// Formats a float for Prometheus exposition (`NaN`, `+Inf`, `-Inf`
 /// spellings per the format spec).
-fn prom_f64(v: f64) -> String {
+pub(crate) fn prom_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v == f64::INFINITY {
@@ -383,7 +399,7 @@ fn prom_escape_help(v: &str) -> String {
 
 /// Renders `{k="v",...}` with an optional extra `le` label (histogram
 /// buckets); empty label sets render as nothing.
-fn fmt_labels(labels: &LabelSet, le: Option<&str>) -> String {
+pub(crate) fn fmt_labels(labels: &LabelSet, le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }

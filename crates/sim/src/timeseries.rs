@@ -1,0 +1,514 @@
+//! Virtual-time metric time-series: a flight recorder for
+//! [`MetricsRegistry`].
+//!
+//! A [`TimeSeriesRecorder`] snapshots every series of a registry on a
+//! fixed virtual-time interval into a ring-buffered sample store. The
+//! driving loop (the `World` clock in `ninja-migration`, and the fleet
+//! engines, which treat the next scrape deadline as a heap event) calls
+//! [`TimeSeriesRecorder::advance_to`] whenever virtual time moves;
+//! every due scrape instant between the old and new clock gets its own
+//! snapshot, so the series is exactly periodic regardless of how the
+//! simulation jumps.
+//!
+//! Each scrape may also drive an [`AlertEngine`](crate::alerts): rules
+//! are evaluated against the previous and current snapshots, fire and
+//! resolve transitions become trace instants (`alert.fired` /
+//! `alert.resolved` under the `alerts` component) plus the
+//! `ninja_alerts_fired_total{rule=...}` counter, and the
+//! `ninja_alerts_active` gauge tracks how many rules are firing — all
+//! of which land in the *same* scrape's snapshot, so the exported
+//! series carries its own alerting history.
+//!
+//! Exporters: timestamped Prometheus text
+//! ([`TimeSeriesRecorder::to_prometheus`], one line per sample with a
+//! millisecond timestamp), JSONL (one scrape per line), and CSV
+//! (one sample per row). All are dependency-free and deterministic.
+
+use crate::alerts::AlertEngine;
+use crate::export::{escape_json, Json};
+use crate::metrics::{fmt_labels, prom_f64, LabelSet, MetricsRegistry};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One scraped series value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Series name. Histograms contribute `<name>_count` and
+    /// `<name>_sum` points.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: LabelSet,
+    /// The scraped value (counters as `f64`).
+    pub value: f64,
+}
+
+/// One scrape: every series of the registry at one virtual instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeSample {
+    /// The scrape instant.
+    pub at: SimTime,
+    /// All series, in registry exposition order (counters, gauges,
+    /// then histogram `_count`/`_sum` pairs; each group name-sorted).
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Default ring capacity: enough for a week of 30 s scrapes.
+const DEFAULT_CAPACITY: usize = 100_000;
+
+/// A virtual-time scraper over [`MetricsRegistry`] with a ring-buffered
+/// sample store and an optional alert engine.
+#[derive(Debug)]
+pub struct TimeSeriesRecorder {
+    interval: SimDuration,
+    next_due: SimTime,
+    samples: VecDeque<ScrapeSample>,
+    capacity: usize,
+    dropped: u64,
+    kinds: BTreeMap<String, &'static str>,
+    alerts: Option<AlertEngine>,
+    finished: bool,
+}
+
+impl TimeSeriesRecorder {
+    /// A recorder scraping every `interval` (clamped to ≥ 1 ns) with
+    /// the default ring capacity.
+    pub fn new(interval: SimDuration) -> Self {
+        TimeSeriesRecorder {
+            interval: interval.max(SimDuration::from_nanos(1)),
+            next_due: SimTime::ZERO,
+            samples: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+            kinds: BTreeMap::new(),
+            alerts: None,
+            finished: false,
+        }
+    }
+
+    /// Caps the ring at `cap` samples (≥ 1); the oldest samples are
+    /// evicted and counted in [`TimeSeriesRecorder::dropped`].
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.capacity = cap.max(1);
+        self
+    }
+
+    /// Attaches an alert engine, evaluated at every scrape.
+    pub fn with_alerts(mut self, alerts: AlertEngine) -> Self {
+        self.alerts = Some(alerts);
+        self
+    }
+
+    /// The scrape interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The next scrape deadline. Always strictly in the future of the
+    /// last time passed to [`TimeSeriesRecorder::advance_to`], so event
+    /// loops can treat it as an always-finite heap event.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Performs the baseline scrape at `at` and schedules the next one
+    /// an interval later. Called once when the recorder is installed.
+    pub fn start_at(&mut self, at: SimTime, metrics: &mut MetricsRegistry, trace: &mut Trace) {
+        self.next_due = at;
+        self.advance_to(at, metrics, trace);
+    }
+
+    /// Scrapes every due instant ≤ `t`, in order. Postcondition:
+    /// `next_due() > t`.
+    pub fn advance_to(&mut self, t: SimTime, metrics: &mut MetricsRegistry, trace: &mut Trace) {
+        while self.next_due <= t {
+            let at = self.next_due;
+            self.scrape(at, metrics, trace);
+            self.next_due = at + self.interval;
+        }
+    }
+
+    /// Final drain at end of run: one trailing scrape at the next
+    /// deadline (capturing the terminal registry state), then up to
+    /// three more while any alert is still firing — enough for rate
+    /// and burn alerts to observe a flat interval and resolve.
+    /// Idempotent: the second and later calls are no-ops.
+    pub fn finish(&mut self, metrics: &mut MetricsRegistry, trace: &mut Trace) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let due = self.next_due;
+        self.advance_to(due, metrics, trace);
+        for _ in 0..3 {
+            if self.active_alerts() == 0 {
+                break;
+            }
+            let due = self.next_due;
+            self.advance_to(due, metrics, trace);
+        }
+    }
+
+    /// Number of alert rules currently firing (0 without an engine).
+    pub fn active_alerts(&self) -> usize {
+        self.alerts.as_ref().map_or(0, AlertEngine::active)
+    }
+
+    /// The alert engine, if one is attached.
+    pub fn alerts(&self) -> Option<&AlertEngine> {
+        self.alerts.as_ref()
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &VecDeque<ScrapeSample> {
+        &self.samples
+    }
+
+    /// Samples evicted by the ring cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn scrape(&mut self, at: SimTime, metrics: &mut MetricsRegistry, trace: &mut Trace) {
+        if let Some(engine) = self.alerts.as_mut() {
+            let cur = snapshot(metrics, None);
+            let prev = self.samples.back().map(|s| (s.at, s.points.as_slice()));
+            let events = engine.evaluate(at, prev, &cur);
+            for ev in &events {
+                if ev.fired {
+                    metrics.describe(
+                        "ninja_alerts_fired_total",
+                        "Alert rule fire transitions, labeled by rule",
+                    );
+                    metrics.inc("ninja_alerts_fired_total", &[("rule", &ev.rule)], 1);
+                    trace.warn(at, "alerts", "alert.fired", ev.detail.clone());
+                } else {
+                    trace.info(at, "alerts", "alert.resolved", ev.detail.clone());
+                }
+            }
+            metrics.describe("ninja_alerts_active", "Alert rules currently firing");
+            metrics.set_gauge("ninja_alerts_active", &[], engine.active() as f64);
+        }
+        let points = snapshot(metrics, Some(&mut self.kinds));
+        self.samples.push_back(ScrapeSample { at, points });
+        while self.samples.len() > self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Timestamped Prometheus text exposition: per series name a
+    /// `# TYPE` header, then one `name{labels} value timestamp_ms`
+    /// line per sample, label-set-major and time-ordered within each
+    /// series.
+    pub fn to_prometheus(&self) -> String {
+        type Grouped<'a> = BTreeMap<&'a str, BTreeMap<&'a LabelSet, Vec<(SimTime, f64)>>>;
+        let mut grouped: Grouped = BTreeMap::new();
+        for s in &self.samples {
+            for p in &s.points {
+                grouped
+                    .entry(p.name.as_str())
+                    .or_default()
+                    .entry(&p.labels)
+                    .or_default()
+                    .push((s.at, p.value));
+            }
+        }
+        let mut out = String::new();
+        for (name, series) in grouped {
+            let kind = self.kinds.get(name).copied().unwrap_or("untyped");
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, values) in series {
+                for (at, v) in values {
+                    out.push_str(&format!(
+                        "{}{} {} {}\n",
+                        name,
+                        fmt_labels(labels, None),
+                        prom_f64(v),
+                        at.as_nanos() / 1_000_000
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSONL: one JSON object per scrape,
+    /// `{"t_ns": ..., "points": [{"name", "labels"?, "value"}, ...]}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let points: Vec<Json> = s
+                .points
+                .iter()
+                .map(|p| {
+                    let mut fields = vec![("name", Json::from(p.name.as_str()))];
+                    if !p.labels.is_empty() {
+                        fields.push((
+                            "labels",
+                            Json::Obj(
+                                p.labels
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    fields.push(("value", Json::from(p.value)));
+                    Json::obj(fields)
+                })
+                .collect();
+            let line = Json::obj(vec![
+                ("t_ns", Json::from(s.at.as_nanos())),
+                ("points", Json::Arr(points)),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV with a fixed header `t_ns,name,labels,value`; labels render
+    /// as `k=v;k=v` and are quoted (JSON string rules) when they
+    /// contain a comma, quote, or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ns,name,labels,value\n");
+        for s in &self.samples {
+            for p in &s.points {
+                let labels = p
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                let labels = if labels.contains([',', '"', '\n']) {
+                    format!("\"{}\"", escape_json(&labels))
+                } else {
+                    labels
+                };
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    s.at.as_nanos(),
+                    p.name,
+                    labels,
+                    prom_f64(p.value)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Snapshots every series of the registry in exposition order. When
+/// `kinds` is given, records each emitted series name's Prometheus
+/// type for the timestamped exposition's `# TYPE` headers.
+fn snapshot(
+    metrics: &MetricsRegistry,
+    mut kinds: Option<&mut BTreeMap<String, &'static str>>,
+) -> Vec<SeriesPoint> {
+    let mut points = Vec::new();
+    let mut note = |name: &str, kind: &'static str| {
+        if let Some(kinds) = kinds.as_deref_mut() {
+            if !kinds.contains_key(name) {
+                kinds.insert(name.to_string(), kind);
+            }
+        }
+    };
+    for (name, series) in metrics.counters_map() {
+        note(name, "counter");
+        for (labels, v) in series {
+            points.push(SeriesPoint {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: *v as f64,
+            });
+        }
+    }
+    for (name, series) in metrics.gauges_map() {
+        note(name, "gauge");
+        for (labels, v) in series {
+            points.push(SeriesPoint {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: *v,
+            });
+        }
+    }
+    for (name, series) in metrics.histograms_map() {
+        let count_name = format!("{name}_count");
+        let sum_name = format!("{name}_sum");
+        note(&count_name, "counter");
+        note(&sum_name, "counter");
+        for (labels, h) in series {
+            points.push(SeriesPoint {
+                name: count_name.clone(),
+                labels: labels.clone(),
+                value: h.count() as f64,
+            });
+            points.push(SeriesPoint {
+                name: sum_name.clone(),
+                labels: labels.clone(),
+                value: h.sum(),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alerts::parse_rules;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn rec30() -> TimeSeriesRecorder {
+        TimeSeriesRecorder::new(SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn scrapes_every_interval_exactly_once() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30();
+        rec.start_at(t(0), &mut m, &mut tr);
+        assert_eq!(rec.samples().len(), 1, "baseline scrape");
+        assert_eq!(rec.next_due(), t(30));
+        m.inc("x_total", &[], 5);
+        // One big jump drains every due instant.
+        rec.advance_to(t(100), &mut m, &mut tr);
+        let at: Vec<SimTime> = rec.samples().iter().map(|s| s.at).collect();
+        assert_eq!(at, vec![t(0), t(30), t(60), t(90)]);
+        assert_eq!(rec.next_due(), t(120));
+        // Monotone, strictly increasing.
+        assert!(at.windows(2).all(|w| w[0] < w[1]));
+        // The counter shows up from the second sample on.
+        assert!(rec.samples()[0].points.is_empty());
+        assert_eq!(rec.samples()[1].points[0].value, 5.0);
+    }
+
+    #[test]
+    fn interval_is_clamped_to_a_tick() {
+        let rec = TimeSeriesRecorder::new(SimDuration::ZERO);
+        assert_eq!(rec.interval(), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn ring_cap_keeps_newest_samples() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30().with_capacity(3);
+        rec.start_at(t(0), &mut m, &mut tr);
+        rec.advance_to(t(300), &mut m, &mut tr);
+        assert_eq!(rec.samples().len(), 3);
+        assert_eq!(rec.dropped(), 8);
+        assert_eq!(rec.samples().back().unwrap().at, t(300));
+    }
+
+    #[test]
+    fn snapshot_covers_counters_gauges_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("c_total", &[("k", "a")], 2);
+        m.set_gauge("g", &[], 1.5);
+        m.observe("h_seconds", &[], 0.5);
+        let points = snapshot(&m, None);
+        let names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["c_total", "g", "h_seconds_count", "h_seconds_sum"]
+        );
+        assert_eq!(points[3].value, 0.5);
+    }
+
+    #[test]
+    fn prometheus_export_is_timestamped_and_typed() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30();
+        rec.start_at(t(0), &mut m, &mut tr);
+        m.inc("c_total", &[("k", "a")], 2);
+        m.set_gauge("g", &[], 0.25);
+        rec.advance_to(t(30), &mut m, &mut tr);
+        let text = rec.to_prometheus();
+        assert!(text.contains("# TYPE c_total counter"), "{text}");
+        assert!(text.contains("# TYPE g gauge"), "{text}");
+        assert!(text.contains("c_total{k=\"a\"} 2 30000\n"), "{text}");
+        assert!(text.contains("g 0.25 30000\n"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parse() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30();
+        rec.start_at(t(0), &mut m, &mut tr);
+        m.inc("c_total", &[("k", "a")], 2);
+        rec.advance_to(t(30), &mut m, &mut tr);
+        for line in rec.to_jsonl().lines() {
+            let doc = crate::export::parse(line).expect("line parses");
+            assert!(doc["t_ns"].as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn csv_quotes_awkward_label_values() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30();
+        m.set_gauge("g", &[("k", "a,b")], 1.0);
+        rec.start_at(t(0), &mut m, &mut tr);
+        let csv = rec.to_csv();
+        assert!(csv.starts_with("t_ns,name,labels,value\n"));
+        assert!(csv.contains("0,g,\"k=a,b\",1\n"), "{csv}");
+    }
+
+    #[test]
+    fn alert_transitions_land_in_metrics_and_trace() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec =
+            rec30().with_alerts(AlertEngine::new(parse_rules("backlog: depth > 2").unwrap()));
+        rec.start_at(t(0), &mut m, &mut tr);
+        m.set_gauge("depth", &[], 5.0);
+        rec.advance_to(t(30), &mut m, &mut tr);
+        assert_eq!(
+            m.counter("ninja_alerts_fired_total", &[("rule", "backlog")]),
+            1
+        );
+        assert_eq!(m.gauge("ninja_alerts_active", &[]), Some(1.0));
+        assert_eq!(tr.of_kind("alert.fired").count(), 1);
+        // The firing scrape's own snapshot carries the alert series.
+        let last = rec.samples().back().unwrap();
+        assert!(last
+            .points
+            .iter()
+            .any(|p| p.name == "ninja_alerts_fired_total"));
+        m.set_gauge("depth", &[], 0.0);
+        rec.advance_to(t(60), &mut m, &mut tr);
+        assert_eq!(tr.of_kind("alert.resolved").count(), 1);
+        assert_eq!(m.gauge("ninja_alerts_active", &[]), Some(0.0));
+        let inc = rec.alerts().unwrap().incidents();
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].resolved_at, Some(t(60)));
+    }
+
+    #[test]
+    fn finish_drains_until_alerts_resolve_and_is_idempotent() {
+        let mut m = MetricsRegistry::new();
+        let mut tr = Trace::new();
+        let mut rec = rec30().with_alerts(AlertEngine::new(
+            parse_rules("hot: rate c_total > 0.5").unwrap(),
+        ));
+        rec.start_at(t(0), &mut m, &mut tr);
+        m.inc("c_total", &[], 100);
+        rec.advance_to(t(30), &mut m, &mut tr);
+        assert_eq!(rec.active_alerts(), 1);
+        rec.finish(&mut m, &mut tr);
+        assert_eq!(rec.active_alerts(), 0, "flat trailing scrape resolves");
+        let n = rec.samples().len();
+        rec.finish(&mut m, &mut tr);
+        assert_eq!(rec.samples().len(), n, "finish is idempotent");
+    }
+}

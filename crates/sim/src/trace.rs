@@ -418,6 +418,12 @@ impl Trace {
         out
     }
 
+    /// Reconstruct per-migration critical paths from this trace's
+    /// spans. See [`critical_paths`] for the reconstruction rules.
+    pub fn critical_paths(&self, phase_names: &[&str]) -> Vec<MigrationPath> {
+        critical_paths(&self.spans, phase_names)
+    }
+
     /// Render the whole trace as text (debugging aid).
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -441,6 +447,193 @@ impl Trace {
         }
         s
     }
+}
+
+/// Blackout attributed to one migration phase, with the per-VM span
+/// that dominated it (the phase's critical VM).
+#[derive(Debug, Clone)]
+pub struct PhaseAttribution {
+    /// Phase name (one of the Fig. 4 phases the caller passed in).
+    pub phase: String,
+    /// Seconds of the migration's blackout this phase accounts for.
+    pub seconds: f64,
+    /// The VM whose per-VM span of this phase ran longest (ties break
+    /// to the lexicographically smallest VM name); `None` when the
+    /// trace carries no per-VM spans for the phase.
+    pub critical_vm: Option<String>,
+    /// Duration of the critical VM's span, in seconds.
+    pub critical_vm_seconds: f64,
+}
+
+/// One migration's reconstructed span tree: the job envelope, its
+/// per-phase blackout attribution, and the dominant phase.
+#[derive(Debug, Clone)]
+pub struct MigrationPath {
+    /// Fleet job index, when the envelope span carries a `job` label.
+    pub job: Option<u64>,
+    /// Migration ordinal for the job (0 = triggered, 1 = recovery),
+    /// when the envelope carries a `mig` label.
+    pub mig: Option<u64>,
+    /// Envelope start (migration triggered into its first phase).
+    pub start: SimTime,
+    /// Envelope end (application resumed, links trained).
+    pub end: SimTime,
+    /// Total application-observed blackout (envelope duration).
+    pub blackout_s: f64,
+    /// Seconds of the blackout covered by matched phase spans; the
+    /// attribution is healthy when this is ≥ 99% of `blackout_s`.
+    pub attributed_s: f64,
+    /// Per-phase attribution, in the caller's phase order.
+    pub phases: Vec<PhaseAttribution>,
+    /// Name of the phase with the largest share (ties break to the
+    /// earlier phase in the caller's order); empty if nothing matched.
+    pub dominant: String,
+}
+
+impl MigrationPath {
+    /// Fraction of the blackout attributed to named phases, in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.blackout_s <= 0.0 {
+            return 1.0;
+        }
+        self.attributed_s / self.blackout_s
+    }
+}
+
+fn span_key(s: &Span) -> (Option<u64>, Option<u64>) {
+    let get = |k: &str| s.label(k).and_then(|v| v.parse().ok());
+    (get("job"), get("mig"))
+}
+
+/// Rebuild [`Span`]s from a Chrome trace-event document (the format
+/// [`Trace::to_chrome_json`] writes). Only complete (`"ph": "X"`)
+/// events become spans; string `args` become labels. Timestamps are
+/// microseconds of simulated time, so reconstructed spans are exact up
+/// to the export's microsecond truncation.
+pub fn spans_from_chrome(doc: &Json) -> Vec<Span> {
+    let mut out = Vec::new();
+    let Some(events) = doc["traceEvents"].as_array() else {
+        return out;
+    };
+    for ev in events {
+        if ev["ph"].as_str() != Some("X") {
+            continue;
+        }
+        let (Some(name), Some(ts), Some(dur)) =
+            (ev["name"].as_str(), ev["ts"].as_u64(), ev["dur"].as_u64())
+        else {
+            continue;
+        };
+        let start = SimTime::ZERO + SimDuration::from_micros(ts);
+        let mut labels = Vec::new();
+        if let Json::Obj(args) = &ev["args"] {
+            for (k, v) in args {
+                if let Some(s) = v.as_str() {
+                    labels.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        out.push(Span {
+            component: ev["cat"].as_str().unwrap_or("").to_string(),
+            name: name.to_string(),
+            start,
+            end: start + SimDuration::from_micros(dur),
+            labels,
+        });
+    }
+    out
+}
+
+/// Reconstruct every migration's critical path from a flat span list
+/// (a live [`Trace`], or one re-read via [`spans_from_chrome`]).
+///
+/// Each `("ninja", "ninja")` envelope span is one migration, processed
+/// in record order. Its phase spans are the `"ninja"`-component spans
+/// whose name is in `phase_names`, whose `job`/`mig` labels match the
+/// envelope's, and whose start lies inside the envelope; each matched
+/// span is consumed so two migrations of the same job never share one.
+/// Within a phase, the critical VM is the longest matching `"symvirt"`
+/// span starting inside the phase window.
+pub fn critical_paths(spans: &[Span], phase_names: &[&str]) -> Vec<MigrationPath> {
+    let mut used = vec![false; spans.len()];
+    let mut out = Vec::new();
+    for (ei, env) in spans.iter().enumerate() {
+        if env.component != "ninja" || env.name != "ninja" {
+            continue;
+        }
+        let key = span_key(env);
+        let (job, mig) = key;
+        used[ei] = true;
+        let mut phases = Vec::new();
+        let mut attributed = 0.0;
+        for &pn in phase_names {
+            let found = spans.iter().enumerate().find(|(pi, p)| {
+                !used[*pi]
+                    && p.component == "ninja"
+                    && p.name == pn
+                    && span_key(p) == key
+                    && p.start >= env.start
+                    && p.start <= env.end
+            });
+            let Some((pi, p)) = found else {
+                continue;
+            };
+            used[pi] = true;
+            let seconds = p.duration().as_secs_f64();
+            attributed += seconds;
+            // The phase's critical VM: longest symvirt span of the same
+            // phase starting inside the window (start-containment keeps
+            // the match robust to the export's microsecond truncation).
+            let mut critical: Option<(&str, f64)> = None;
+            for (vi, vs) in spans.iter().enumerate() {
+                if used[vi]
+                    || vs.component != "symvirt"
+                    || vs.name != pn
+                    || span_key(vs) != key
+                    || vs.start < p.start
+                    || vs.start > p.end
+                {
+                    continue;
+                }
+                let Some(vm) = vs.label("vm") else { continue };
+                used[vi] = true;
+                let d = vs.duration().as_secs_f64();
+                let better = match critical {
+                    None => true,
+                    Some((cur_vm, cur_d)) => d > cur_d || (d == cur_d && vm < cur_vm),
+                };
+                if better {
+                    critical = Some((vm, d));
+                }
+            }
+            phases.push(PhaseAttribution {
+                phase: pn.to_string(),
+                seconds,
+                critical_vm: critical.map(|(vm, _)| vm.to_string()),
+                critical_vm_seconds: critical.map_or(0.0, |(_, d)| d),
+            });
+        }
+        let mut dominant = String::new();
+        let mut best = f64::NEG_INFINITY;
+        for p in &phases {
+            // Strict `>` so ties break to the earlier phase.
+            if p.seconds > best {
+                best = p.seconds;
+                dominant = p.phase.clone();
+            }
+        }
+        out.push(MigrationPath {
+            job,
+            mig,
+            start: env.start,
+            end: env.end,
+            blackout_s: env.duration().as_secs_f64(),
+            attributed_s: attributed,
+            phases,
+            dominant,
+        });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -600,6 +793,86 @@ mod tests {
         for line in lines {
             crate::export::parse(line).expect("each line is a JSON document");
         }
+    }
+
+    /// Builds the span tree of one migration: envelope, tiled phases,
+    /// and a per-VM span per phase for `vms` VMs.
+    fn record_migration(tr: &mut Trace, job: u64, mig: u64, start: u64, phase_secs: [u64; 3]) {
+        let names = ["detach", "migration", "attach"];
+        let mut cur = start;
+        for (name, secs) in names.iter().zip(phase_secs) {
+            let sb = SpanBuilder::new("ninja", *name, t(cur))
+                .label("job", job.to_string())
+                .label("mig", mig.to_string());
+            tr.record_span(sb.end(t(cur + secs)));
+            for vm in 0..2u64 {
+                // VM 1 finishes early, so VM 0 is always critical.
+                let end = cur + secs - vm.min(secs.saturating_sub(1));
+                tr.record_span(
+                    SpanBuilder::new("symvirt", *name, t(cur))
+                        .label("vm", format!("j{job}v{vm}"))
+                        .label("job", job.to_string())
+                        .label("mig", mig.to_string())
+                        .end(t(end)),
+                );
+            }
+            cur += secs;
+        }
+        tr.record_span(
+            SpanBuilder::new("ninja", "ninja", t(start))
+                .label("job", job.to_string())
+                .label("mig", mig.to_string())
+                .end(t(cur)),
+        );
+    }
+
+    #[test]
+    fn critical_paths_attribute_blackout_to_phases() {
+        let mut tr = Trace::new();
+        record_migration(&mut tr, 0, 0, 10, [2, 30, 4]);
+        record_migration(&mut tr, 1, 0, 20, [2, 5, 40]);
+        let paths = tr.critical_paths(&["detach", "migration", "attach"]);
+        assert_eq!(paths.len(), 2);
+        let p0 = &paths[0];
+        assert_eq!((p0.job, p0.mig), (Some(0), Some(0)));
+        assert_eq!(p0.blackout_s, 36.0);
+        assert_eq!(p0.attributed_s, 36.0);
+        assert!(p0.coverage() >= 0.99);
+        assert_eq!(p0.dominant, "migration");
+        assert_eq!(p0.phases.len(), 3);
+        assert_eq!(p0.phases[1].seconds, 30.0);
+        assert_eq!(p0.phases[1].critical_vm.as_deref(), Some("j0v0"));
+        assert_eq!(paths[1].dominant, "attach");
+        assert_eq!(paths[1].phases[2].critical_vm.as_deref(), Some("j1v0"));
+    }
+
+    #[test]
+    fn critical_paths_survive_a_chrome_round_trip() {
+        let mut tr = Trace::new();
+        record_migration(&mut tr, 0, 0, 5, [1, 20, 3]);
+        record_migration(&mut tr, 0, 1, 40, [1, 8, 2]);
+        let doc = crate::export::parse(&tr.to_chrome_json()).unwrap();
+        let spans = spans_from_chrome(&doc);
+        assert_eq!(spans.len(), tr.all_spans().len());
+        let paths = critical_paths(&spans, &["detach", "migration", "attach"]);
+        assert_eq!(paths.len(), 2);
+        // Same job, two migrations: record order + span consumption
+        // keeps each envelope matched to its own phases.
+        assert_eq!((paths[0].job, paths[0].mig), (Some(0), Some(0)));
+        assert_eq!((paths[1].job, paths[1].mig), (Some(0), Some(1)));
+        assert_eq!(paths[0].blackout_s, 24.0);
+        assert_eq!(paths[1].blackout_s, 11.0);
+        for p in &paths {
+            assert!(p.coverage() >= 0.99, "coverage {}", p.coverage());
+        }
+    }
+
+    #[test]
+    fn critical_paths_on_span_free_trace_is_empty() {
+        let mut tr = Trace::new();
+        tr.info(t(1), "x", "tick", "");
+        assert!(tr.critical_paths(&["detach"]).is_empty());
+        assert!(spans_from_chrome(&crate::export::parse("{}").unwrap()).is_empty());
     }
 
     #[test]

@@ -18,6 +18,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== flight-recorder alert smoke =="
+# Mirrors the CI alert-smoke job: a 64-job fleet with 30 s scrapes and
+# the default rules must fire and resolve the queue-backlog alert,
+# write a timestamped series, and critical-path-attribute its trace.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q -p ninja-fleet --bin ninja -- \
+    fleet --jobs 64 --concurrency 4 \
+    --scrape-interval 30 --alerts default \
+    --timeseries-out "$smoke_dir/ts.prom" \
+    --trace-out "$smoke_dir/fleet-trace.json" \
+    > "$smoke_dir/fleet-report.txt"
+grep -q 'ALERT queue-backlog fired' "$smoke_dir/fleet-report.txt"
+grep -q 'resolved' "$smoke_dir/fleet-report.txt"
+grep -q '# TYPE ninja_alerts_active gauge' "$smoke_dir/ts.prom"
+cargo run -q -p ninja-fleet --bin ninja -- \
+    trace critical-path "$smoke_dir/fleet-trace.json" \
+    | grep -q 'per-phase breakdown'
+
 echo "== cargo build --benches =="
 # Bench binaries (ninja-bench bins) and the criterion-stub [[bench]]
 # targets, which sit behind the off-by-default `bench` feature.
